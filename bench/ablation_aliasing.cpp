@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The paper's future-work feature: aliasing the prediction
+ * structures. BFGTS-HW runs with the confidence table capped at
+ * 1..N slots (sTxIDs alias via modulo); the sweep shows how much
+ * prediction quality the compression costs per benchmark. With one
+ * slot, every site shares one confidence value -- BFGTS degenerates
+ * toward ATS-style global throttling.
+ */
+
+#include "bench_util.h"
+
+int
+main()
+{
+    const auto options = bench::defaultOptions();
+    const std::vector<int> slot_counts{1, 2, 3, 0}; // 0 = exact
+
+    bench::banner("Ablation: confidence-table aliasing (BFGTS-HW "
+                  "speedup by slot count)");
+
+    std::vector<std::string> headers{"Benchmark"};
+    for (int slots : slot_counts) {
+        headers.push_back(slots == 0 ? std::string("exact")
+                                     : std::to_string(slots)
+                                           + " slot(s)");
+    }
+    headers.emplace_back("sites");
+    sim::TextTable table(headers);
+
+    runner::BaselineCache baselines;
+    for (const std::string &name : workloads::stampBenchmarkNames()) {
+        const double base =
+            static_cast<double>(baselines.runtime(name, options));
+        std::vector<std::string> row{name};
+        for (int slots : slot_counts) {
+            runner::RunOptions swept = options;
+            swept.tuning.bfgts.confTableSlots = slots;
+            const runner::SimResults r =
+                runner::runStamp(name, cm::CmKind::BfgtsHw, swept);
+            row.push_back(sim::fmtDouble(
+                base / static_cast<double>(r.runtime), 2));
+        }
+        row.push_back(std::to_string(
+            workloads::makeStampWorkload(name, 1)->numStaticTx()));
+        table.addRow(row);
+    }
+    table.print(std::cout);
+    return 0;
+}

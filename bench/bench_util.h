@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared helpers for the table/figure regeneration benches.
+ *
+ * Every bench binary regenerates one table or figure of the paper:
+ * it runs the relevant slice of the evaluation matrix and prints the
+ * same rows/series the paper reports. Set BFGTS_QUICK=1 to shrink
+ * the runs (fewer transactions per thread) for fast smoke runs.
+ */
+
+#ifndef BFGTS_BENCH_BENCH_UTIL_H
+#define BFGTS_BENCH_BENCH_UTIL_H
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "runner/experiment.h"
+#include "sim/stats.h"
+#include "workloads/stamp.h"
+
+namespace bench {
+
+/** True when BFGTS_QUICK=1: shrink runs for smoke testing. */
+inline bool
+quickMode()
+{
+    const char *env = std::getenv("BFGTS_QUICK");
+    return env != nullptr && env[0] == '1';
+}
+
+/** Default run options, shrunk in quick mode. */
+inline runner::RunOptions
+defaultOptions()
+{
+    runner::RunOptions options;
+    if (quickMode())
+        options.txPerThread = 20;
+    return options;
+}
+
+/** Geometric mean of a non-empty vector of positive values. */
+inline double
+geomean(const std::vector<double> &values)
+{
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+/** Arithmetic mean. */
+inline double
+mean(const std::vector<double> &values)
+{
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+/** Print a banner naming the table/figure being regenerated. */
+inline void
+banner(const std::string &title)
+{
+    std::cout << "\n==== " << title << " ====\n\n";
+}
+
+} // namespace bench
+
+#endif // BFGTS_BENCH_BENCH_UTIL_H

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Regenerates Figure 4: (a) speedup over one core for each contention
+ * manager on each STAMP benchmark (16 CPUs, 64 threads), and
+ * (b) percent improvement over PTS.
+ */
+
+#include "bench_util.h"
+
+int
+main()
+{
+    const auto options = bench::defaultOptions();
+    const auto benchmarks = workloads::stampBenchmarkNames();
+    const auto managers = cm::allCmKinds();
+
+    // Column headers: benchmark + one column per manager.
+    std::vector<std::string> headers{"Benchmark"};
+    for (cm::CmKind kind : managers)
+        headers.emplace_back(cm::cmKindName(kind));
+    sim::TextTable speedup_table(headers);
+    sim::TextTable improvement_table(headers);
+
+    runner::BaselineCache baselines;
+    // speedups[manager][benchmark]
+    std::vector<std::vector<double>> speedups(
+        managers.size(), std::vector<double>(benchmarks.size(), 0.0));
+
+    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+        const std::string &name = benchmarks[b];
+        const double base = static_cast<double>(
+            baselines.runtime(name, options));
+        std::vector<std::string> row{name};
+        for (std::size_t m = 0; m < managers.size(); ++m) {
+            const runner::SimResults results =
+                runner::runStamp(name, managers[m], options);
+            speedups[m][b] =
+                base / static_cast<double>(results.runtime);
+            row.push_back(sim::fmtDouble(speedups[m][b], 2));
+        }
+        speedup_table.addRow(row);
+    }
+
+    // Average row.
+    {
+        std::vector<std::string> row{"AVG"};
+        for (std::size_t m = 0; m < managers.size(); ++m)
+            row.push_back(sim::fmtDouble(bench::mean(speedups[m]), 2));
+        speedup_table.addRow(row);
+    }
+
+    bench::banner("Figure 4(a): speedup over one core "
+                  "(16 CPUs, 64 threads)");
+    speedup_table.print(std::cout);
+
+    // Figure 4(b): percent improvement over PTS.
+    const std::size_t pts_index = 1; // allCmKinds() order
+    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+        std::vector<std::string> row{benchmarks[b]};
+        for (std::size_t m = 0; m < managers.size(); ++m) {
+            const double pct = (speedups[m][b] / speedups[pts_index][b]
+                                - 1.0)
+                             * 100.0;
+            row.push_back(sim::fmtDouble(pct, 1));
+        }
+        improvement_table.addRow(row);
+    }
+    {
+        std::vector<std::string> row{"AVG"};
+        for (std::size_t m = 0; m < managers.size(); ++m) {
+            std::vector<double> pcts;
+            for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+                pcts.push_back((speedups[m][b]
+                                / speedups[pts_index][b]
+                                - 1.0)
+                               * 100.0);
+            }
+            row.push_back(sim::fmtDouble(bench::mean(pcts), 1));
+        }
+        improvement_table.addRow(row);
+    }
+
+    bench::banner("Figure 4(b): percent improvement over PTS");
+    improvement_table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Regenerates Figure 5: the execution-time breakdown (non-
+ * transactional / kernel / transactional / abort / scheduling) for
+ * PTS, ATS, BFGTS-SW, BFGTS-HW and BFGTS-HW/Backoff on every STAMP
+ * benchmark. The paper plots runtime normalized to one processor;
+ * here each bar is printed as the share of total machine cycles in
+ * each category plus the runtime normalized to the single-core
+ * baseline.
+ */
+
+#include "bench_util.h"
+
+int
+main()
+{
+    const auto options = bench::defaultOptions();
+    const std::vector<cm::CmKind> managers{
+        cm::CmKind::Pts, cm::CmKind::Ats, cm::CmKind::BfgtsSw,
+        cm::CmKind::BfgtsHw, cm::CmKind::BfgtsHwBackoff};
+
+    bench::banner("Figure 5: execution time breakdown "
+                  "(16 CPUs, 64 threads)");
+
+    sim::TextTable table({"Benchmark", "Manager", "NonTx", "Kernel",
+                          "Transactional", "Abort", "Scheduling",
+                          "Idle", "NormRuntime"});
+
+    runner::BaselineCache baselines;
+    for (const std::string &name : workloads::stampBenchmarkNames()) {
+        const double base =
+            static_cast<double>(baselines.runtime(name, options));
+        bool first = true;
+        for (cm::CmKind kind : managers) {
+            const runner::SimResults r =
+                runner::runStamp(name, kind, options);
+            const runner::Breakdown &b = r.breakdown;
+            table.addRow(
+                {first ? name : "", cm::cmKindName(kind),
+                 sim::fmtPercent(b.frac(b.nonTx), 1),
+                 sim::fmtPercent(b.frac(b.kernel), 1),
+                 sim::fmtPercent(b.frac(b.tx), 1),
+                 sim::fmtPercent(b.frac(b.aborted), 1),
+                 sim::fmtPercent(b.frac(b.sched), 1),
+                 sim::fmtPercent(b.frac(b.idle), 1),
+                 sim::fmtDouble(
+                     static_cast<double>(r.runtime) / base * 16.0,
+                     2)});
+            first = false;
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nNormRuntime = parallel runtime / single-core "
+                 "runtime x 16 (lower is better; 1.0 = perfect "
+                 "16-way scaling).\n";
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Regenerates Figure 6: speedup of BFGTS-HW (a) and
+ * BFGTS-HW/Backoff (b) with Bloom filter sizes swept from 512 to
+ * 8192 bits, on every STAMP benchmark.
+ */
+
+#include "bench_util.h"
+
+namespace {
+
+void
+sweep(cm::CmKind kind, const char *title,
+      runner::BaselineCache &baselines)
+{
+    const auto options = bench::defaultOptions();
+    const std::vector<std::uint64_t> sizes{512, 1024, 2048, 4096,
+                                           8192};
+
+    std::vector<std::string> headers{"Benchmark"};
+    for (std::uint64_t bits : sizes)
+        headers.push_back(std::to_string(bits) + "bit");
+    sim::TextTable table(headers);
+
+    for (const std::string &name : workloads::stampBenchmarkNames()) {
+        const double base =
+            static_cast<double>(baselines.runtime(name, options));
+        std::vector<std::string> row{name};
+        for (std::uint64_t bits : sizes) {
+            runner::RunOptions swept = options;
+            swept.bloomBits = bits;
+            const runner::SimResults r =
+                runner::runStamp(name, kind, swept);
+            row.push_back(sim::fmtDouble(
+                base / static_cast<double>(r.runtime), 2));
+        }
+        table.addRow(row);
+    }
+    bench::banner(title);
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    runner::BaselineCache baselines;
+    sweep(cm::CmKind::BfgtsHw,
+          "Figure 6(a): BFGTS-HW speedup vs Bloom filter size",
+          baselines);
+    sweep(cm::CmKind::BfgtsHwBackoff,
+          "Figure 6(b): BFGTS-HW/Backoff speedup vs Bloom filter "
+          "size",
+          baselines);
+    return 0;
+}

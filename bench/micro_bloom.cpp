@@ -1,0 +1,165 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the primitives on BFGTS's
+ * critical paths: Bloom insert/query, popcount, the Eq. 2-4
+ * estimators, signature comparison, and a full hardware-predictor
+ * lookup. These measure *host* performance of the library (ns/op),
+ * complementing the cycle-level cost model the simulator charges.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bloom/estimate.h"
+#include "bloom/signature.h"
+#include "cpu/predictor.h"
+#include "sim/random.h"
+
+namespace {
+
+bloom::BloomConfig
+configFor(std::uint64_t bits)
+{
+    return bloom::BloomConfig{.numBits = bits, .numHashes = 4,
+                              .seed = 42};
+}
+
+void
+BM_BloomInsert(benchmark::State &state)
+{
+    bloom::BloomFilter filter(
+        configFor(static_cast<std::uint64_t>(state.range(0))));
+    sim::Rng rng(1);
+    std::uint64_t key = 0;
+    for (auto _ : state) {
+        filter.insert(key += 0x9e3779b97f4a7c15ULL);
+        benchmark::DoNotOptimize(filter);
+    }
+}
+BENCHMARK(BM_BloomInsert)->Arg(512)->Arg(2048)->Arg(8192);
+
+void
+BM_BloomQuery(benchmark::State &state)
+{
+    bloom::BloomFilter filter(
+        configFor(static_cast<std::uint64_t>(state.range(0))));
+    sim::Rng rng(2);
+    for (int i = 0; i < 64; ++i)
+        filter.insert(rng.next());
+    std::uint64_t key = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            filter.mayContain(key += 0x9e3779b97f4a7c15ULL));
+    }
+}
+BENCHMARK(BM_BloomQuery)->Arg(512)->Arg(2048)->Arg(8192);
+
+void
+BM_PopCount(benchmark::State &state)
+{
+    bloom::BloomFilter filter(
+        configFor(static_cast<std::uint64_t>(state.range(0))));
+    sim::Rng rng(3);
+    for (int i = 0; i < 128; ++i)
+        filter.insert(rng.next());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(filter.popCount());
+}
+BENCHMARK(BM_PopCount)->Arg(512)->Arg(2048)->Arg(8192);
+
+void
+BM_SetSizeEstimate(benchmark::State &state)
+{
+    bloom::BloomFilter filter(
+        configFor(static_cast<std::uint64_t>(state.range(0))));
+    sim::Rng rng(4);
+    for (int i = 0; i < 64; ++i)
+        filter.insert(rng.next());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(bloom::estimateSetSize(filter));
+}
+BENCHMARK(BM_SetSizeEstimate)->Arg(512)->Arg(2048)->Arg(8192);
+
+void
+BM_SimilarityEstimate(benchmark::State &state)
+{
+    const auto config =
+        configFor(static_cast<std::uint64_t>(state.range(0)));
+    bloom::BloomFilter a(config), b(config);
+    sim::Rng rng(5);
+    for (int i = 0; i < 32; ++i) {
+        std::uint64_t key = rng.next();
+        a.insert(key);
+        b.insert(key);
+    }
+    for (int i = 0; i < 32; ++i) {
+        a.insert(rng.next());
+        b.insert(rng.next());
+    }
+    // The full commit-time pipeline: union + 3 popcounts + 3 logs.
+    for (auto _ : state)
+        benchmark::DoNotOptimize(bloom::similarity(a, b, 64.0));
+}
+BENCHMARK(BM_SimilarityEstimate)->Arg(512)->Arg(2048)->Arg(8192);
+
+void
+BM_PerfectSignatureIntersection(benchmark::State &state)
+{
+    bloom::PerfectSignature a, b;
+    sim::Rng rng(6);
+    for (int i = 0; i < state.range(0); ++i) {
+        a.insert(rng.next());
+        b.insert(rng.next());
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a.estimateIntersectionSize(b));
+}
+BENCHMARK(BM_PerfectSignatureIntersection)->Arg(16)->Arg(256);
+
+void
+BM_PartitionedBloomInsert(benchmark::State &state)
+{
+    bloom::BloomFilter filter(bloom::BloomConfig{
+        .numBits = static_cast<std::uint64_t>(state.range(0)),
+        .numHashes = 4,
+        .seed = 42,
+        .partitioned = true});
+    std::uint64_t key = 0;
+    for (auto _ : state) {
+        filter.insert(key += 0x9e3779b97f4a7c15ULL);
+        benchmark::DoNotOptimize(filter);
+    }
+}
+BENCHMARK(BM_PartitionedBloomInsert)->Arg(512)->Arg(2048)->Arg(8192);
+
+void
+BM_PredictorLookup(benchmark::State &state)
+{
+    htm::TxIdSpace ids(8, 64);
+    cpu::PredictorSystem predictors(16, ids);
+    for (int cpu = 1; cpu < 16; ++cpu)
+        predictors.broadcastBegin(cpu, ids.make(cpu, cpu % 8));
+    auto read_conf = [](htm::STxId, htm::STxId) -> std::uint32_t {
+        return 10; // below threshold: full CPU-table walk
+    };
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            predictors.predict(0, 3, read_conf, 50));
+    }
+}
+BENCHMARK(BM_PredictorLookup);
+
+void
+BM_H3Hash(benchmark::State &state)
+{
+    bloom::H3HashFamily family(4, 2048, 7);
+    std::uint64_t key = 0;
+    for (auto _ : state) {
+        key += 0x9e3779b97f4a7c15ULL;
+        benchmark::DoNotOptimize(family.hash(0, key));
+    }
+}
+BENCHMARK(BM_H3Hash);
+
+} // namespace
+
+BENCHMARK_MAIN();

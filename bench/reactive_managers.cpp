@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Extra baseline comparison (paper Section 2 context): the classic
+ * reactive managers -- Backoff, Timestamp, Polka -- against BFGTS-HW
+ * across the STAMP suite. Reactive managers pick victims after
+ * conflicts happen; the table shows where heuristic victim selection
+ * helps over plain backoff, and where only proactive scheduling does.
+ */
+
+#include "bench_util.h"
+
+int
+main()
+{
+    const auto options = bench::defaultOptions();
+    const std::vector<cm::CmKind> managers{
+        cm::CmKind::Backoff, cm::CmKind::Timestamp, cm::CmKind::Polka,
+        cm::CmKind::BfgtsHw};
+
+    std::vector<std::string> headers{"Benchmark"};
+    for (cm::CmKind kind : managers) {
+        headers.emplace_back(std::string(cm::cmKindName(kind))
+                             + " speedup");
+        headers.emplace_back(std::string(cm::cmKindName(kind))
+                             + " cont");
+    }
+    sim::TextTable table(headers);
+
+    bench::banner("Reactive contention managers vs BFGTS-HW");
+    runner::BaselineCache baselines;
+    for (const std::string &name : workloads::stampBenchmarkNames()) {
+        const double base =
+            static_cast<double>(baselines.runtime(name, options));
+        std::vector<std::string> row{name};
+        for (cm::CmKind kind : managers) {
+            const runner::SimResults r =
+                runner::runStamp(name, kind, options);
+            row.push_back(sim::fmtDouble(
+                base / static_cast<double>(r.runtime), 2));
+            row.push_back(sim::fmtPercent(r.contentionRate, 1));
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Regenerates Table 3: the benchmark inputs. The paper lists STAMP
+ * command lines; the equivalent here is each synthetic generator's
+ * calibrated parameters, printed from the live presets.
+ */
+
+#include "bench_util.h"
+
+int
+main()
+{
+    bench::banner("Table 3: benchmark parameters (live generator "
+                  "presets; paper used STAMP inputs)");
+    sim::TextTable table({"Benchmark", "Site", "Weight", "Accesses",
+                          "Sim", "Work/acc", "NonTx", "Hot frac",
+                          "Sticky pool", "Tx/thread"});
+    for (const std::string &name : workloads::stampBenchmarkNames()) {
+        auto workload = workloads::makeStampWorkload(name, 64);
+        const workloads::SyntheticParams &params = workload->params();
+        for (std::size_t i = 0; i < params.sites.size(); ++i) {
+            const workloads::SiteParams &site = params.sites[i];
+            std::string hot_frac = "-";
+            std::string pool = "-";
+            if (!site.hotGroups.empty()) {
+                hot_frac = sim::fmtDouble(site.hotGroups[0].frac, 2);
+                pool = std::to_string(
+                    site.hotGroups[0].stickyPoolLines);
+            }
+            table.addRow(
+                {i == 0 ? name : "", std::to_string(i),
+                 sim::fmtDouble(site.weight, 1),
+                 std::to_string(site.meanAccesses) + "+-"
+                     + std::to_string(site.accessJitter),
+                 sim::fmtDouble(site.similarity, 2),
+                 std::to_string(site.workPerAccess),
+                 std::to_string(site.nonTxWork), hot_frac, pool,
+                 i == 0 ? std::to_string(params.txPerThread) : ""});
+        }
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Regenerates Table 4: contention rates (aborted / total transaction
+ * attempts) for every benchmark under every contention manager on
+ * the 16-processor system. The paper's Backoff column is printed for
+ * reference (the calibration target of the synthetic workloads).
+ */
+
+#include "bench_util.h"
+
+int
+main()
+{
+    const auto options = bench::defaultOptions();
+    const auto managers = cm::allCmKinds();
+
+    std::vector<std::string> headers{"Benchmark"};
+    for (cm::CmKind kind : managers)
+        headers.emplace_back(cm::cmKindName(kind));
+    headers.emplace_back("paper Backoff");
+    sim::TextTable table(headers);
+
+    bench::banner("Table 4: contention rates (16 CPUs, 64 threads)");
+
+    for (const std::string &name : workloads::stampBenchmarkNames()) {
+        std::vector<std::string> row{name};
+        for (cm::CmKind kind : managers) {
+            const runner::SimResults results =
+                runner::runStamp(name, kind, options);
+            row.push_back(sim::fmtPercent(results.contentionRate, 1));
+        }
+        row.push_back(sim::fmtPercent(
+            workloads::stampTargets(name).backoffContention, 1));
+        table.addRow(row);
+    }
+    table.print(std::cout);
+    return 0;
+}

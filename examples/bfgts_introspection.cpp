@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Looking inside a BFGTS run: the learned confidence table, the
+ * per-site similarity estimates versus ground truth, and where the
+ * aborts that slipped through came from.
+ *
+ *   ./build/examples/bfgts_introspection [benchmark]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "cm/bfgts.h"
+#include "runner/experiment.h"
+#include "runner/simulation.h"
+
+int
+main(int argc, char **argv)
+{
+    const std::string benchmark = argc > 1 ? argv[1] : "Delaunay";
+    runner::RunOptions options;
+    options.txPerThread = 60;
+
+    runner::SimConfig config =
+        runner::makeConfig(benchmark, cm::CmKind::BfgtsHw, options);
+    runner::Simulation simulation(config);
+    const runner::SimResults results = simulation.run();
+    auto &manager =
+        dynamic_cast<cm::BfgtsManager &>(simulation.manager());
+    const int sites = simulation.workload().numStaticTx();
+
+    std::printf("%s under BFGTS-HW: %llu commits, %llu aborts, "
+                "%llu begin-time serializations\n\n",
+                benchmark.c_str(),
+                static_cast<unsigned long long>(results.commits),
+                static_cast<unsigned long long>(results.aborts),
+                static_cast<unsigned long long>(
+                    results.serializations));
+
+    std::printf("learned confidence table (rows = beginning site, "
+                "columns = running site):\n      ");
+    for (int col = 0; col < sites; ++col)
+        std::printf("  s%-3d", col);
+    std::printf("\n");
+    for (int row = 0; row < sites; ++row) {
+        std::printf("  s%-3d", row);
+        for (int col = 0; col < sites; ++col)
+            std::printf("  %4u", manager.confidence(row, col));
+        std::printf("\n");
+    }
+
+    std::printf("\nsimilarity: BFGTS estimate (thread 0) vs "
+                "measured exact:\n");
+    htm::TxIdSpace ids(sites, config.numThreads());
+    for (int site = 0; site < sites; ++site) {
+        std::printf("  site %d: estimated %.2f   measured %.2f\n",
+                    site, manager.similarityOf(ids.make(0, site)),
+                    results.similarityPerSite[static_cast<
+                        std::size_t>(site)]);
+    }
+
+    std::printf("\nresidual aborts by site pair:\n");
+    for (const auto &[pair, count] : results.abortPairs) {
+        std::printf("  (s%d, s%d): %llu\n", pair.first, pair.second,
+                    static_cast<unsigned long long>(count));
+    }
+    return 0;
+}

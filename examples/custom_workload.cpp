@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Defining your own transactional workload.
+ *
+ * The Workload interface is the extension point: anything that can
+ * produce per-thread streams of TxDescriptors (static transaction
+ * site + exact accesses + compute cost) can run on the simulated
+ * machine under any contention manager. This example builds a
+ * two-site "order book" workload from scratch:
+ *
+ *  - site 0 ("match"): small transactions that read-modify-write a
+ *    tiny shared book head -- persistent conflicts, high similarity;
+ *  - site 1 ("insert"): medium transactions touching random private
+ *    price levels -- almost conflict-free, low similarity.
+ *
+ * A proactive scheduler should learn to serialize site 0 against
+ * itself while leaving site 1 fully parallel.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "runner/experiment.h"
+#include "runner/simulation.h"
+#include "workloads/generator.h"
+
+namespace {
+
+std::unique_ptr<workloads::Workload>
+makeOrderBook(int num_threads)
+{
+    workloads::SyntheticParams params;
+    params.name = "OrderBook";
+    params.txPerThread = 80;
+    params.hotGroupLines = {512}; // the shared book
+
+    workloads::SiteParams match;
+    match.weight = 1.0;
+    match.meanAccesses = 6;
+    match.accessJitter = 1;
+    match.similarity = 0.85;
+    match.workPerAccess = 25;
+    match.nonTxWork = 900;
+    match.hotGroups = {{.group = 0,
+                        .frac = 0.6,
+                        .writeFraction = 0.8,
+                        .stickyFrac = 0.8,
+                        .stickyPoolLines = 6}};
+
+    workloads::SiteParams insert;
+    insert.weight = 2.0;
+    insert.meanAccesses = 18;
+    insert.accessJitter = 4;
+    insert.similarity = 0.2;
+    insert.workPerAccess = 40;
+    insert.nonTxWork = 1500;
+    insert.hotGroups = {{.group = 0,
+                         .frac = 0.05,
+                         .writeFraction = 0.2}};
+
+    params.sites = {match, insert};
+    return std::make_unique<workloads::SyntheticWorkload>(
+        params, num_threads);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("custom 'OrderBook' workload: 2 sites, 64 threads\n\n");
+    for (cm::CmKind kind :
+         {cm::CmKind::Backoff, cm::CmKind::Ats,
+          cm::CmKind::BfgtsHw}) {
+        runner::SimConfig config;
+        config.workloadFactory = makeOrderBook;
+        config.cm = kind;
+        runner::Simulation simulation(config);
+        const runner::SimResults r = simulation.run();
+        std::printf("  %-18s runtime %9llu  contention %5.1f%%  "
+                    "serializations %llu\n",
+                    r.cm.c_str(),
+                    static_cast<unsigned long long>(r.runtime),
+                    100.0 * r.contentionRate,
+                    static_cast<unsigned long long>(
+                        r.serializations));
+        // The measured conflict graph: expect only the (0,0) edge.
+        std::printf("    conflict edges:");
+        for (const auto &[a, b] : r.conflictGraph)
+            std::printf(" (%d,%d)", a, b);
+        std::printf("   site similarity:");
+        for (double s : r.similarityPerSite)
+            std::printf(" %.2f", s);
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,64 @@
+#include "estimate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.h"
+
+namespace bloom {
+
+double
+estimateSetSize(std::uint64_t bits_set, std::uint64_t num_bits,
+                int num_hashes)
+{
+    sim_assert(num_bits > 1);
+    sim_assert(num_hashes >= 1);
+    sim_assert(bits_set <= num_bits);
+    if (bits_set == 0)
+        return 0.0;
+    const double m = static_cast<double>(num_bits);
+    const double t = static_cast<double>(bits_set);
+    if (bits_set == num_bits) {
+        // Saturated: ln(0) diverges. Any set at least as large as the
+        // saturation knee maps here; report m as the ceiling estimate.
+        return m;
+    }
+    const double k = static_cast<double>(num_hashes);
+    return std::log(1.0 - t / m) / (k * std::log(1.0 - 1.0 / m));
+}
+
+double
+estimateSetSize(const BloomFilter &filter)
+{
+    return estimateSetSize(filter.popCount(), filter.numBits(),
+                           filter.numHashes());
+}
+
+double
+estimateIntersectionSize(const BloomFilter &a, const BloomFilter &b)
+{
+    sim_assert(a.compatibleWith(b));
+    const BloomFilter u = a.unionWith(b);
+    const double est = estimateSetSize(a) + estimateSetSize(b)
+                     - estimateSetSize(u);
+    return std::max(est, 0.0);
+}
+
+double
+similarity(const BloomFilter &new_filter, const BloomFilter &old_filter,
+           double avg_set_size)
+{
+    const double inter = estimateIntersectionSize(new_filter,
+                                                  old_filter);
+    return exactSimilarity(inter, avg_set_size);
+}
+
+double
+exactSimilarity(double intersection_size, double avg_set_size)
+{
+    if (avg_set_size <= 0.0)
+        return 0.0;
+    return std::clamp(intersection_size / avg_set_size, 0.0, 1.0);
+}
+
+} // namespace bloom

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The paper's Bloom filter set-size and similarity estimators.
+ *
+ * These implement Equations 2-4 of the BFGTS paper (after Michael et
+ * al.'s extended Bloom filter operations for distributed joins):
+ *
+ *   Eq. 2:  S^-1(t) = ln(1 - t/m) / (k * ln(1 - 1/m))
+ *           estimated number of distinct keys encoded in a filter with
+ *           t of its m bits set by k hash functions.
+ *
+ *   Eq. 3:  |A n B| ~= S^-1(t_A) + S^-1(t_B) - S^-1(t_{A u B})
+ *           inclusion-exclusion on the union filter.
+ *
+ *   Eq. 4:  Similarity = |RW_{t-1} n RW_t| / AvgRWSetSize, in [0, 1].
+ */
+
+#ifndef BFGTS_BLOOM_ESTIMATE_H
+#define BFGTS_BLOOM_ESTIMATE_H
+
+#include "bloom/bloom_filter.h"
+
+namespace bloom {
+
+/**
+ * Eq. 2: estimated cardinality of the set encoded by a filter state.
+ *
+ * @param bits_set   t, the number of set bits.
+ * @param num_bits   m, the filter size in bits.
+ * @param num_hashes k, the number of hash functions.
+ * @return Estimated number of distinct inserted keys. A saturated
+ *         filter (t == m) has no finite estimate; returns m (every
+ *         cardinality above the saturation point is indistinguishable).
+ */
+double estimateSetSize(std::uint64_t bits_set, std::uint64_t num_bits,
+                       int num_hashes);
+
+/** Eq. 2 applied to a live filter. */
+double estimateSetSize(const BloomFilter &filter);
+
+/**
+ * Eq. 3: estimated |A n B| via the union filter.
+ *
+ * Clamped below at 0: sampling noise can drive the raw
+ * inclusion-exclusion value slightly negative for disjoint sets.
+ * @pre a.compatibleWith(b).
+ */
+double estimateIntersectionSize(const BloomFilter &a,
+                                const BloomFilter &b);
+
+/**
+ * Eq. 4: similarity of two consecutive read/write sets.
+ *
+ * @param new_filter  Filter of the just-completed execution.
+ * @param old_filter  Filter of the previous execution.
+ * @param avg_set_size Historical average read/write set size.
+ * @return Estimated similarity, clamped to [0, 1].
+ * @pre new_filter.compatibleWith(old_filter), avg_set_size > 0.
+ */
+double similarity(const BloomFilter &new_filter,
+                  const BloomFilter &old_filter, double avg_set_size);
+
+/**
+ * Exact-set similarity used by BFGTS-NoOverhead (perfect signatures)
+ * and by the workload calibration tests.
+ *
+ * @param intersection_size Exact |RW_{t-1} n RW_t|.
+ * @param avg_set_size      Historical average read/write set size.
+ */
+double exactSimilarity(double intersection_size, double avg_set_size);
+
+} // namespace bloom
+
+#endif // BFGTS_BLOOM_ESTIMATE_H

@@ -1,0 +1,57 @@
+#include "hash.h"
+
+#include "sim/logging.h"
+
+namespace bloom {
+
+H3HashFamily::H3HashFamily(int num_hashes, std::uint64_t num_buckets,
+                           std::uint64_t seed)
+    : numHashes_(num_hashes), numBuckets_(num_buckets)
+{
+    sim_assert(num_hashes > 0);
+    sim_assert(num_buckets > 1);
+    matrix_.resize(static_cast<std::size_t>(num_hashes) * 64);
+    std::uint64_t sm = seed ^ 0x8e1f0cafe5a5a5a5ULL;
+    for (auto &row : matrix_)
+        row = sim::splitmix64(sm);
+}
+
+std::uint64_t
+H3HashFamily::hash(int fn, std::uint64_t key) const
+{
+    sim_assert(fn >= 0 && fn < numHashes_);
+    const std::uint64_t *rows = &matrix_[static_cast<std::size_t>(fn)
+                                         * 64];
+    std::uint64_t acc = 0;
+    std::uint64_t k = key;
+    while (k) {
+        int bit = __builtin_ctzll(k);
+        acc ^= rows[bit];
+        k &= k - 1;
+    }
+    return acc % numBuckets_;
+}
+
+MultiplyShiftHashFamily::MultiplyShiftHashFamily(
+    int num_hashes, std::uint64_t num_buckets, std::uint64_t seed)
+    : numHashes_(num_hashes), numBuckets_(num_buckets)
+{
+    sim_assert(num_hashes > 0);
+    sim_assert(num_buckets > 1);
+    std::uint64_t sm = seed ^ 0x51ab7e9d3c0ffee1ULL;
+    mult_.resize(static_cast<std::size_t>(num_hashes));
+    add_.resize(static_cast<std::size_t>(num_hashes));
+    for (int i = 0; i < num_hashes; ++i) {
+        mult_[i] = sim::splitmix64(sm) | 1; // must be odd
+        add_[i] = sim::splitmix64(sm);
+    }
+}
+
+std::uint64_t
+MultiplyShiftHashFamily::hash(int fn, std::uint64_t key) const
+{
+    sim_assert(fn >= 0 && fn < numHashes_);
+    return sim::mix64(key * mult_[fn] + add_[fn]) % numBuckets_;
+}
+
+} // namespace bloom

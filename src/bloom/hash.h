@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Hash families for Bloom filter signatures.
+ *
+ * Sanchez et al. (MICRO'07, "Implementing Signatures for Transactional
+ * Memory") showed H3 hashing is both hardware-cheap and close to ideal
+ * for signature false-positive rates, so H3 is the default family here.
+ * A multiply-shift family is provided as a cheaper software alternative
+ * and to let tests cross-check that the estimation math (Eqs. 2-4 of
+ * the BFGTS paper) is hash-family independent.
+ */
+
+#ifndef BFGTS_BLOOM_HASH_H
+#define BFGTS_BLOOM_HASH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace bloom {
+
+/**
+ * H3 hash family: h(x) = XOR of a random row per set input bit.
+ *
+ * Each of the k hash functions owns a 64-row matrix of random words;
+ * the hash of a 64-bit key is the XOR of the rows selected by the
+ * key's set bits, reduced modulo the number of buckets. All functions
+ * built from the same seed are identical, which is what makes two
+ * Bloom filters with the same (bits, hashes, seed) unionable.
+ */
+class H3HashFamily
+{
+  public:
+    /**
+     * @param num_hashes  Number of independent hash functions (k).
+     * @param num_buckets Output range: hashes fall in [0, num_buckets).
+     * @param seed        Seed for the random matrices.
+     */
+    H3HashFamily(int num_hashes, std::uint64_t num_buckets,
+                 std::uint64_t seed);
+
+    /** Value of hash function @p fn (0-based) applied to @p key. */
+    std::uint64_t hash(int fn, std::uint64_t key) const;
+
+    int numHashes() const { return numHashes_; }
+    std::uint64_t numBuckets() const { return numBuckets_; }
+
+  private:
+    int numHashes_;
+    std::uint64_t numBuckets_;
+    /** matrix_[fn * 64 + bit] = random row for input bit @p bit. */
+    std::vector<std::uint64_t> matrix_;
+};
+
+/**
+ * Multiply-shift family: h_i(x) = mix64(x * odd_i + add_i) mod buckets.
+ *
+ * Not hardware-realistic, but fast and statistically strong; used by
+ * tests to verify the estimators are not H3-specific.
+ */
+class MultiplyShiftHashFamily
+{
+  public:
+    MultiplyShiftHashFamily(int num_hashes, std::uint64_t num_buckets,
+                            std::uint64_t seed);
+
+    std::uint64_t hash(int fn, std::uint64_t key) const;
+
+    int numHashes() const { return numHashes_; }
+    std::uint64_t numBuckets() const { return numBuckets_; }
+
+  private:
+    int numHashes_;
+    std::uint64_t numBuckets_;
+    std::vector<std::uint64_t> mult_;
+    std::vector<std::uint64_t> add_;
+};
+
+} // namespace bloom
+
+#endif // BFGTS_BLOOM_HASH_H

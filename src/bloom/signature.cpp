@@ -1,0 +1,44 @@
+#include "signature.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+
+namespace bloom {
+
+const BloomFilter &
+BloomSignature::cast(const Signature &other)
+{
+    auto *sig = dynamic_cast<const BloomSignature *>(&other);
+    if (sig == nullptr)
+        sim_panic("BloomSignature combined with a non-Bloom signature");
+    return sig->filter_;
+}
+
+double
+PerfectSignature::estimateIntersectionSize(const Signature &other) const
+{
+    auto *sig = dynamic_cast<const PerfectSignature *>(&other);
+    if (sig == nullptr)
+        sim_panic("PerfectSignature combined with a non-perfect "
+                  "signature");
+    // Iterate the smaller set.
+    const auto &small = set_.size() <= sig->set_.size() ? set_
+                                                        : sig->set_;
+    const auto &large = set_.size() <= sig->set_.size() ? sig->set_
+                                                        : set_;
+    std::size_t count = 0;
+    for (std::uint64_t key : small)
+        count += large.count(key);
+    return static_cast<double>(count);
+}
+
+double
+signatureSimilarity(const Signature &new_sig, const Signature &old_sig,
+                    double avg_set_size)
+{
+    const double inter = new_sig.estimateIntersectionSize(old_sig);
+    return exactSimilarity(inter, avg_set_size);
+}
+
+} // namespace bloom

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Read/write-set signatures: Bloom-encoded or perfect (exact).
+ *
+ * The BFGTS runtime stores one signature of the most recent read/write
+ * set per dTxID and needs three things from it: size estimation,
+ * intersection estimation (for similarity, Eqs. 2-4), and an
+ * is-the-intersection-empty test (commit-time confidence update).
+ *
+ * Two implementations share the interface:
+ *  - BloomSignature:   the realistic hardware-signature encoding the
+ *                      paper uses for its commit routines.
+ *  - PerfectSignature: exact sets, used by the BFGTS-NoOverhead
+ *                      configuration ("perfect read/write signatures")
+ *                      and by tests as ground truth.
+ */
+
+#ifndef BFGTS_BLOOM_SIGNATURE_H
+#define BFGTS_BLOOM_SIGNATURE_H
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+
+#include "bloom/bloom_filter.h"
+#include "bloom/estimate.h"
+
+namespace bloom {
+
+/** Abstract read/write-set signature. */
+class Signature
+{
+  public:
+    virtual ~Signature() = default;
+
+    /** Add a (line) address to the set. */
+    virtual void insert(std::uint64_t key) = 0;
+
+    /** Remove all elements. */
+    virtual void clear() = 0;
+
+    /** True if nothing was inserted (no bit set / empty set). */
+    virtual bool empty() const = 0;
+
+    /** Estimated (or exact) cardinality of the encoded set. */
+    virtual double estimateSize() const = 0;
+
+    /**
+     * Estimated (or exact) |this n other|.
+     * @pre other has the same dynamic type and compatible config.
+     */
+    virtual double
+    estimateIntersectionSize(const Signature &other) const = 0;
+
+    /**
+     * May the two sets overlap? Bloom signatures can report a false
+     * positive; perfect signatures are exact.
+     */
+    virtual bool intersectsNonEmpty(const Signature &other) const = 0;
+
+    /** Deep copy preserving dynamic type. */
+    virtual std::unique_ptr<Signature> clone() const = 0;
+};
+
+/** Signature backed by a BloomFilter. */
+class BloomSignature : public Signature
+{
+  public:
+    explicit BloomSignature(const BloomConfig &config = BloomConfig{})
+        : filter_(config)
+    {
+    }
+
+    void insert(std::uint64_t key) override { filter_.insert(key); }
+    void clear() override { filter_.clear(); }
+    bool empty() const override { return filter_.empty(); }
+
+    double
+    estimateSize() const override
+    {
+        return estimateSetSize(filter_);
+    }
+
+    double
+    estimateIntersectionSize(const Signature &other) const override
+    {
+        return bloom::estimateIntersectionSize(filter_, cast(other));
+    }
+
+    bool
+    intersectsNonEmpty(const Signature &other) const override
+    {
+        return filter_.intersectionNonEmpty(cast(other));
+    }
+
+    std::unique_ptr<Signature>
+    clone() const override
+    {
+        return std::make_unique<BloomSignature>(*this);
+    }
+
+    /** Underlying filter (for cost accounting and tests). */
+    const BloomFilter &filter() const { return filter_; }
+
+  private:
+    static const BloomFilter &cast(const Signature &other);
+
+    BloomFilter filter_;
+};
+
+/** Exact-set signature (BFGTS-NoOverhead / test ground truth). */
+class PerfectSignature : public Signature
+{
+  public:
+    PerfectSignature() = default;
+
+    void insert(std::uint64_t key) override { set_.insert(key); }
+    void clear() override { set_.clear(); }
+    bool empty() const override { return set_.empty(); }
+
+    double
+    estimateSize() const override
+    {
+        return static_cast<double>(set_.size());
+    }
+
+    double estimateIntersectionSize(const Signature &other)
+        const override;
+
+    bool
+    intersectsNonEmpty(const Signature &other) const override
+    {
+        return estimateIntersectionSize(other) > 0.0;
+    }
+
+    std::unique_ptr<Signature>
+    clone() const override
+    {
+        return std::make_unique<PerfectSignature>(*this);
+    }
+
+    /** Underlying set (for tests). */
+    const std::unordered_set<std::uint64_t> &set() const { return set_; }
+
+  private:
+    std::unordered_set<std::uint64_t> set_;
+};
+
+/**
+ * Similarity of consecutive executions per Eq. 4, on any signature
+ * implementation. Clamped to [0, 1].
+ */
+double signatureSimilarity(const Signature &new_sig,
+                           const Signature &old_sig,
+                           double avg_set_size);
+
+} // namespace bloom
+
+#endif // BFGTS_BLOOM_SIGNATURE_H

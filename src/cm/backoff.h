@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reactive randomized-exponential-backoff contention manager.
+ *
+ * The classic baseline the paper (and Bobba et al.'s pathologies
+ * work) measures everyone against: do nothing at begin, and on abort
+ * spin for a random interval that doubles with each consecutive
+ * abort. Near-zero overhead at low contention; collapses at high
+ * contention because it never prevents a conflict from recurring.
+ */
+
+#ifndef BFGTS_CM_BACKOFF_H
+#define BFGTS_CM_BACKOFF_H
+
+#include <unordered_map>
+
+#include "cm/base.h"
+
+namespace cm {
+
+/** Tunables of the backoff baseline. */
+struct BackoffConfig {
+    /** Mean of the first backoff window, cycles. */
+    sim::Cycles baseWindow = 400;
+    /** Window doubles per consecutive abort up to this exponent. */
+    int maxExponent = 10;
+};
+
+/** Randomized exponential backoff. */
+class BackoffManager : public ContentionManagerBase
+{
+  public:
+    BackoffManager(int num_cpus, const Services &services,
+                   const BackoffConfig &config = {})
+        : ContentionManagerBase(num_cpus, services), config_(config)
+    {
+    }
+
+    std::string name() const override { return "Backoff"; }
+
+    BeginDecision
+    onTxBegin(const TxInfo &) override
+    {
+        return BeginDecision{}; // always proceed, zero cost
+    }
+
+    void onTxStart(const TxInfo &tx) override { trackStart(tx); }
+
+    AbortResponse onTxAbort(const TxInfo &tx,
+                            const TxInfo &other) override;
+
+    CmCost
+    onTxCommit(const TxInfo &tx, const std::vector<mem::Addr> &) override
+    {
+        trackEnd(tx, true);
+        consecutiveAborts_[tx.thread] = 0;
+        return CmCost{};
+    }
+
+  private:
+    BackoffConfig config_;
+    std::unordered_map<sim::ThreadId, int> consecutiveAborts_;
+};
+
+} // namespace cm
+
+#endif // BFGTS_CM_BACKOFF_H

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Shared plumbing for contention managers.
+ *
+ * Services gives a CM controlled access to the simulated machine:
+ * the OS scheduler (to wake blocked threads), the RNG (for randomized
+ * backoff) and the hardware predictor system (BFGTS-HW only).
+ *
+ * ContentionManagerBase maintains the software view of the CPU Table
+ * -- which dTxID is running on each CPU -- that PTS and BFGTS-SW scan
+ * at begin time, and collects commit/abort counters every manager
+ * wants.
+ */
+
+#ifndef BFGTS_CM_BASE_H
+#define BFGTS_CM_BASE_H
+
+#include <vector>
+
+#include "cm/contention_manager.h"
+#include "sim/random.h"
+#include "sim/stats.h"
+
+namespace os {
+class OsScheduler;
+}
+namespace cpu {
+class PredictorSystem;
+}
+namespace sim {
+class EventQueue;
+}
+
+namespace cm {
+
+/** Simulated-machine services a CM may use. */
+struct Services {
+    os::OsScheduler *scheduler = nullptr;
+    sim::Rng *rng = nullptr;
+    /** Only wired for BFGTS-HW / BFGTS-HW/Backoff. */
+    cpu::PredictorSystem *predictors = nullptr;
+    /** Simulated clock, for throughput-based self-tuning. */
+    const sim::EventQueue *events = nullptr;
+};
+
+/**
+ * Base class: per-CPU running-transaction table plus counters.
+ *
+ * Subclasses must call the on*() methods of this base when they
+ * override them (they are non-virtual helpers named differently to
+ * make forgetting impossible: subclasses implement the interface and
+ * call track*()).
+ */
+class ContentionManagerBase : public ContentionManager
+{
+  public:
+    ContentionManagerBase(int num_cpus, const Services &services)
+        : services_(services),
+          runningByCpu_(static_cast<std::size_t>(num_cpus), htm::kNoTx)
+    {
+    }
+
+    /** dTxID running on @p cpu, or kNoTx. */
+    htm::DTxId
+    runningOn(sim::CpuId cpu) const
+    {
+        return runningByCpu_[static_cast<std::size_t>(cpu)];
+    }
+
+    int
+    numCpus() const
+    {
+        return static_cast<int>(runningByCpu_.size());
+    }
+
+    const sim::Counter &commits() const { return commits_; }
+    const sim::Counter &aborts() const { return aborts_; }
+    const sim::Counter &serializations() const { return serializations_; }
+
+  protected:
+    /** Record that @p tx started running (call from onTxStart). */
+    void
+    trackStart(const TxInfo &tx)
+    {
+        runningByCpu_[static_cast<std::size_t>(tx.cpu)] = tx.dTx;
+    }
+
+    /** Record that @p tx stopped (call from onTxAbort/onTxCommit). */
+    void
+    trackEnd(const TxInfo &tx, bool committed)
+    {
+        auto &slot = runningByCpu_[static_cast<std::size_t>(tx.cpu)];
+        if (slot == tx.dTx)
+            slot = htm::kNoTx;
+        if (committed)
+            commits_.inc();
+        else
+            aborts_.inc();
+    }
+
+    /** Count a begin-time serialization decision. */
+    void trackSerialization() { serializations_.inc(); }
+
+    Services services_;
+
+  private:
+    std::vector<htm::DTxId> runningByCpu_;
+    sim::Counter commits_;
+    sim::Counter aborts_;
+    sim::Counter serializations_;
+};
+
+} // namespace cm
+
+#endif // BFGTS_CM_BASE_H

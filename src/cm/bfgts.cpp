@@ -1,0 +1,403 @@
+#include "bfgts.h"
+
+#include <algorithm>
+
+#include "cpu/predictor.h"
+#include "sim/logging.h"
+
+namespace cm {
+
+const char *
+bfgtsVariantName(BfgtsVariant variant)
+{
+    switch (variant) {
+      case BfgtsVariant::Sw:
+        return "BFGTS-SW";
+      case BfgtsVariant::Hw:
+        return "BFGTS-HW";
+      case BfgtsVariant::HwBackoff:
+        return "BFGTS-HW/Backoff";
+      case BfgtsVariant::NoOverhead:
+        return "BFGTS-NoOverhead";
+    }
+    return "BFGTS-?";
+}
+
+BfgtsManager::BfgtsManager(int num_cpus, const htm::TxIdSpace &ids,
+                           const Services &services,
+                           const BfgtsConfig &config)
+    : ContentionManagerBase(num_cpus, services), config_(config),
+      ids_(ids)
+{
+    const auto slots = static_cast<std::size_t>(numSlots());
+    conf_.assign(slots * slots, 0.0);
+    pressure_.assign(slots, 0.0);
+    stats_.resize(slots * static_cast<std::size_t>(ids.numThreads()));
+    for (DtxStats &s : stats_)
+        s.similarity = config_.initialSimilarity;
+    if (usesHardware())
+        sim_assert(services_.predictors != nullptr);
+}
+
+int
+BfgtsManager::numSlots() const
+{
+    if (config_.confTableSlots <= 0
+        || config_.confTableSlots >= ids_.numStaticTx()) {
+        return ids_.numStaticTx();
+    }
+    return config_.confTableSlots;
+}
+
+htm::STxId
+BfgtsManager::slotOf(htm::STxId stx) const
+{
+    return stx % numSlots();
+}
+
+std::string
+BfgtsManager::name() const
+{
+    return bfgtsVariantName(config_.variant);
+}
+
+bool
+BfgtsManager::usesHardware() const
+{
+    return config_.variant == BfgtsVariant::Hw
+        || config_.variant == BfgtsVariant::HwBackoff;
+}
+
+std::unique_ptr<bloom::Signature>
+BfgtsManager::makeSignature() const
+{
+    if (noOverhead())
+        return std::make_unique<bloom::PerfectSignature>();
+    return std::make_unique<bloom::BloomSignature>(config_.bloom);
+}
+
+BfgtsManager::DtxStats &
+BfgtsManager::statsFor(htm::DTxId dtx)
+{
+    const auto index =
+        static_cast<std::size_t>(slotOf(ids_.staticOf(dtx)))
+            * static_cast<std::size_t>(ids_.numThreads())
+        + static_cast<std::size_t>(ids_.threadOf(dtx));
+    return stats_[index];
+}
+
+const BfgtsManager::DtxStats &
+BfgtsManager::statsFor(htm::DTxId dtx) const
+{
+    const auto index =
+        static_cast<std::size_t>(slotOf(ids_.staticOf(dtx)))
+            * static_cast<std::size_t>(ids_.numThreads())
+        + static_cast<std::size_t>(ids_.threadOf(dtx));
+    return stats_[index];
+}
+
+std::uint32_t
+BfgtsManager::confidence(htm::STxId row, htm::STxId col) const
+{
+    const auto index = static_cast<std::size_t>(slotOf(row))
+                         * static_cast<std::size_t>(numSlots())
+                     + static_cast<std::size_t>(slotOf(col));
+    return static_cast<std::uint32_t>(conf_[index]);
+}
+
+double
+BfgtsManager::similarityOf(htm::DTxId dtx) const
+{
+    return statsFor(dtx).similarity;
+}
+
+double
+BfgtsManager::avgSizeOf(htm::DTxId dtx) const
+{
+    return statsFor(dtx).avgSize;
+}
+
+double
+BfgtsManager::pressure(htm::STxId stx) const
+{
+    return pressure_[static_cast<std::size_t>(slotOf(stx))];
+}
+
+void
+BfgtsManager::writeConfidence(htm::STxId row, htm::STxId col,
+                              double delta)
+{
+    const htm::STxId slot_row = slotOf(row);
+    const htm::STxId slot_col = slotOf(col);
+    const auto index = static_cast<std::size_t>(slot_row)
+                         * static_cast<std::size_t>(numSlots())
+                     + static_cast<std::size_t>(slot_col);
+    conf_[index] = std::clamp(conf_[index] + delta, 0.0, 255.0);
+    // The main processor wrote a confidence entry; the predictors'
+    // confidence caches snoop the invalidation (and refetch). The
+    // physical (aliased) slot is what lives at the cached address.
+    if (usesHardware())
+        services_.predictors->onConfidenceWrite(slot_row, slot_col);
+}
+
+void
+BfgtsManager::updatePressure(htm::STxId stx, bool conflicted)
+{
+    double &p = pressure_[static_cast<std::size_t>(slotOf(stx))];
+    p = config_.pressureAlpha * p
+      + (1.0 - config_.pressureAlpha) * (conflicted ? 1.0 : 0.0);
+}
+
+sim::Cycles
+BfgtsManager::bloomUpdateCost() const
+{
+    if (noOverhead())
+        return 1;
+    const sim::Cycles words = (config_.bloom.numBits + 63) / 64;
+    return words * config_.perWordCycle
+               * static_cast<sim::Cycles>(config_.bloomPasses)
+         + 3 * config_.fyl2xCost + config_.mathTailCost;
+}
+
+BeginDecision
+BfgtsManager::suspend(const TxInfo &tx, htm::DTxId wait_on,
+                      CmCost cost)
+{
+    // suspendTx(), Example 2.
+    trackSerialization();
+    if (!noOverhead())
+        cost.sched += config_.suspendCost;
+    else
+        cost.sched += 1;
+
+    DtxStats &self = statsFor(tx.dTx);
+    const DtxStats &holder = statsFor(wait_on);
+    const double sim_avg =
+        config_.similarityWeighting
+            ? 0.5 * (self.similarity + holder.similarity)
+            : 0.5;
+    const double decay = config_.decayVal * (1.0 - sim_avg);
+    writeConfidence(tx.sTx, ids_.staticOf(wait_on), -decay);
+    self.waitingOn = wait_on;
+
+    if (config_.variant == BfgtsVariant::HwBackoff)
+        updatePressure(tx.sTx, true); // predicted conflicts add pressure
+
+    BeginDecision decision;
+    decision.cost = cost;
+    decision.waitOn = wait_on;
+    decision.action = holder.avgSize >= config_.smallTxLines
+                          ? BeginAction::YieldOn
+                          : BeginAction::StallOn;
+    return decision;
+}
+
+BeginDecision
+BfgtsManager::onTxBegin(const TxInfo &tx)
+{
+    BeginDecision decision;
+
+    if (config_.variant == BfgtsVariant::HwBackoff) {
+        decision.cost.sched += config_.pressureCheckCost;
+        if (pressure(tx.sTx) <= config_.pressureThreshold) {
+            gatedBegins_.inc();
+            return decision; // backoff mode: run immediately
+        }
+    }
+
+    if (usesHardware()) {
+        // The TX_BEGIN instruction triggers the predictor (Example 1
+        // runs in hardware).
+        auto read_conf = [this](htm::STxId row, htm::STxId col) {
+            return confidence(row, col);
+        };
+        cpu::PredictResult result = services_.predictors->predict(
+            tx.cpu, tx.sTx, read_conf, config_.confThreshold);
+        decision.cost.sched += result.latency;
+        if (result.conflictPredicted)
+            return suspend(tx, result.waitOn, decision.cost);
+        return decision;
+    }
+
+    // Software walk of the CPU Table (BFGTS-SW / NoOverhead).
+    if (!noOverhead())
+        decision.cost.sched += config_.swScanBase;
+    else
+        decision.cost.sched += 1;
+    for (int cpu = 0; cpu < numCpus(); ++cpu) {
+        if (cpu == tx.cpu)
+            continue;
+        if (!noOverhead())
+            decision.cost.sched += config_.swScanPerEntry;
+        const htm::DTxId running = runningOn(cpu);
+        if (running == htm::kNoTx)
+            continue;
+        if (confidence(tx.sTx, ids_.staticOf(running))
+            > config_.confThreshold) {
+            return suspend(tx, running, decision.cost);
+        }
+    }
+    return decision;
+}
+
+void
+BfgtsManager::onTxStart(const TxInfo &tx)
+{
+    trackStart(tx);
+    if (usesHardware())
+        services_.predictors->broadcastBegin(tx.cpu, tx.dTx);
+}
+
+CmCost
+BfgtsManager::onConflictDetected(const TxInfo &tx, const TxInfo &other)
+{
+    // txConflict(), Example 3: strengthen the edge in both
+    // directions, scaled by the average similarity of the parties.
+    CmCost cost;
+    cost.sched = noOverhead() ? 1 : config_.conflictCost;
+    if (other.dTx != htm::kNoTx) {
+        const double sim_avg =
+            config_.similarityWeighting
+                ? 0.5
+                      * (statsFor(tx.dTx).similarity
+                         + statsFor(other.dTx).similarity)
+                : 0.5;
+        const double inc = config_.incVal * sim_avg;
+        writeConfidence(tx.sTx, other.sTx, inc);
+        writeConfidence(other.sTx, tx.sTx, inc);
+    }
+    // Hybrid pressure rises on aborts and predicted conflicts only
+    // (Section 4.3), not on every NACK.
+    return cost;
+}
+
+AbortResponse
+BfgtsManager::onTxAbort(const TxInfo &tx, const TxInfo &other)
+{
+    trackEnd(tx, false);
+    if (usesHardware())
+        services_.predictors->broadcastEnd(tx.cpu);
+
+    (void)other;
+    AbortResponse resp;
+    // The conflict edge was already strengthened when the conflict
+    // was detected (onConflictDetected, fired on the first NACK);
+    // the abort only pays rollback bookkeeping and raises the
+    // hybrid's pressure on the victim's side.
+    resp.cost.sched = noOverhead() ? 1 : config_.conflictCost;
+    if (config_.variant == BfgtsVariant::HwBackoff)
+        updatePressure(tx.sTx, true);
+
+    sim_assert(services_.rng != nullptr);
+    resp.backoff = services_.rng->below(
+        std::max<sim::Cycles>(1, config_.abortBackoff * 2));
+    return resp;
+}
+
+CmCost
+BfgtsManager::onTxCommit(const TxInfo &tx,
+                         const std::vector<mem::Addr> &rw_lines)
+{
+    trackEnd(tx, true);
+    if (usesHardware())
+        services_.predictors->broadcastEnd(tx.cpu);
+
+    CmCost cost;
+    cost.sched = noOverhead() ? 1 : config_.commitBase;
+
+    DtxStats &self = statsFor(tx.dTx);
+
+    // updateAvgSize().
+    const auto size = static_cast<double>(rw_lines.size());
+    self.avgSize = self.avgSize == 0.0 ? size
+                                       : 0.5 * (self.avgSize + size);
+
+    bool hybrid_gated = false;
+    if (config_.variant == BfgtsVariant::HwBackoff) {
+        cost.sched += config_.pressureCheckCost;
+        updatePressure(tx.sTx, false);
+        if (pressure(tx.sTx) <= config_.pressureThreshold
+            && self.waitingOn == htm::kNoTx) {
+            hybrid_gated = true; // skip the Bloom machinery entirely
+        }
+    }
+
+    // Small transactions only refresh similarity every
+    // smallTxInterval commits (Section 5.3.2).
+    bool sim_update_due = true;
+    if (self.avgSize < config_.smallTxLines) {
+        ++self.commitsSinceSimUpdate;
+        if (self.commitsSinceSimUpdate < config_.smallTxInterval) {
+            sim_update_due = false;
+        } else {
+            self.commitsSinceSimUpdate = 0;
+        }
+    }
+    if (hybrid_gated)
+        sim_update_due = false;
+
+    const bool need_bloom = sim_update_due
+                         || self.waitingOn != htm::kNoTx;
+    if (!need_bloom) {
+        if (!sim_update_due)
+            skippedSimUpdates_.inc();
+        return cost;
+    }
+
+    // readCPUBloomFilter(): encode the just-committed read/write set.
+    std::unique_ptr<bloom::Signature> n_bloom = makeSignature();
+    for (mem::Addr line : rw_lines)
+        n_bloom->insert(line);
+
+    if (sim_update_due) {
+        // updateBloom(), Example 4: newSim via Eqs. 2-4 against the
+        // previous execution's filter, then EWMA into the stats.
+        cost.sched += bloomUpdateCost();
+        if (self.lastBloom) {
+            const double new_sim = bloom::signatureSimilarity(
+                *n_bloom, *self.lastBloom, self.avgSize);
+            self.similarity = 0.5 * (self.similarity + new_sim);
+        }
+    } else {
+        skippedSimUpdates_.inc();
+    }
+
+    // checkWasSerialized(): verify the begin-time serialization.
+    if (self.waitingOn != htm::kNoTx) {
+        const htm::DTxId waited = self.waitingOn;
+        self.waitingOn = htm::kNoTx;
+        const DtxStats &holder = statsFor(waited);
+        if (holder.lastBloom) {
+            if (!noOverhead()) {
+                const sim::Cycles words =
+                    (config_.bloom.numBits + 63) / 64;
+                cost.sched += words * config_.perWordCycle;
+            }
+            const double sim_avg =
+                config_.similarityWeighting
+                    ? 0.5 * (self.similarity + holder.similarity)
+                    : 0.5;
+            // "If an intersection is not null the confidence is
+            // incremented" -- BFGTS judges this with the Eq. 3
+            // estimator rather than a raw bitwise AND: at realistic
+            // densities the AND of two signatures almost always has
+            // a few chance bits in common, which is exactly the
+            // "rudimentary Bloom filter use" the paper criticizes
+            // PTS for.
+            if (n_bloom->estimateIntersectionSize(*holder.lastBloom)
+                >= 1.0) {
+                writeConfidence(tx.sTx, ids_.staticOf(waited),
+                                config_.incVal * sim_avg);
+            } else {
+                writeConfidence(tx.sTx, ids_.staticOf(waited),
+                                -config_.decayVal * (1.0 - sim_avg));
+            }
+        }
+    }
+
+    if (sim_update_due)
+        self.lastBloom = std::move(n_bloom);
+    return cost;
+}
+
+} // namespace cm

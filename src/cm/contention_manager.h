@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Contention manager interface.
+ *
+ * A contention manager (CM) observes four events in a transaction's
+ * life -- begin, conflict-abort, commit, plus the moment it actually
+ * starts executing -- and steers scheduling through its begin-time
+ * decision. Every hook also reports the *cycle cost* of the CM's own
+ * bookkeeping, split into scheduling-software cycles and kernel-mode
+ * cycles, because the paper's evaluation (Fig. 5) is largely a story
+ * about who pays how much overhead where.
+ *
+ * Implementations: BackoffManager (reactive baseline), AtsManager
+ * (Yoo & Lee), PtsManager (Blake et al., MICRO'09), BfgtsManager
+ * (this paper, four variants).
+ */
+
+#ifndef BFGTS_CM_CONTENTION_MANAGER_H
+#define BFGTS_CM_CONTENTION_MANAGER_H
+
+#include <string>
+#include <vector>
+
+#include "htm/tx_id.h"
+#include "mem/addr.h"
+#include "sim/types.h"
+
+namespace cm {
+
+/** Cycle cost of a CM hook, split by accounting bucket. */
+struct CmCost {
+    /** Scheduling software/hardware cycles (Fig. 5 "Scheduling"). */
+    sim::Cycles sched = 0;
+    /** Kernel-mode cycles, e.g. pthread queue ops (Fig. 5 "Kernel"). */
+    sim::Cycles kernel = 0;
+
+    CmCost &
+    operator+=(const CmCost &o)
+    {
+        sched += o.sched;
+        kernel += o.kernel;
+        return *this;
+    }
+};
+
+/** What a transaction must do at TX_BEGIN. */
+enum class BeginAction {
+    /** Start executing now. */
+    Proceed,
+    /** Busy-wait until waitOn is no longer running, then retry begin. */
+    StallOn,
+    /** pthread_yield(); retry begin when re-dispatched. */
+    YieldOn,
+    /** Block; the CM will wake the thread (e.g. ATS wait queue). */
+    Block,
+};
+
+/** Begin-time decision plus its cost. */
+struct BeginDecision {
+    BeginAction action = BeginAction::Proceed;
+    htm::DTxId waitOn = htm::kNoTx;
+    CmCost cost;
+};
+
+/** Identity of a transaction as the CM hooks see it. */
+struct TxInfo {
+    sim::ThreadId thread = sim::kNoThread;
+    sim::CpuId cpu = sim::kNoCpu;
+    htm::STxId sTx = 0;
+    htm::DTxId dTx = htm::kNoTx;
+};
+
+/**
+ * A contention manager's verdict on a detected conflict. Reactive
+ * managers in the Scherer & Scott tradition (Timestamp, Polka)
+ * arbitrate conflicts themselves; the proactive managers of the
+ * paper's evaluation leave arbitration to the HTM substrate and act
+ * at begin time instead.
+ */
+enum class ConflictArbitration {
+    /** Let the substrate's LogTM-style policy decide. */
+    UseSubstrate,
+    /** NACK the requester; it retries the access. */
+    StallRequester,
+    /** The requester aborts itself. */
+    AbortRequester,
+    /** The holder(s) abort; the requester retries. */
+    AbortHolders,
+};
+
+/** What the arbitration hook gets to look at. */
+struct ArbitrationContext {
+    TxInfo requester;
+    /** Accesses the requester has performed this attempt (karma). */
+    int requesterAccesses = 0;
+    /** Consecutive stalls already suffered on this access. */
+    int stallRetries = 0;
+    /** Times the requester's section has aborted (starvation). */
+    int priorAborts = 0;
+    TxInfo holder;
+    /** Accesses the holder has performed this attempt (karma). */
+    int holderAccesses = 0;
+    /** The holder's age timestamp relative to the requester's:
+     *  negative = holder is older. */
+    std::int64_t holderAgeDelta = 0;
+};
+
+/** Response to an abort: bookkeeping cost plus backoff to wait. */
+struct AbortResponse {
+    CmCost cost;
+    /** Cycles to spin before retrying the transaction. */
+    sim::Cycles backoff = 0;
+};
+
+/**
+ * Abstract contention manager.
+ *
+ * Tracking duties shared by every implementation (which transaction
+ * runs on which CPU) live in the ContentionManagerBase helper below.
+ */
+class ContentionManager
+{
+  public:
+    virtual ~ContentionManager() = default;
+
+    /** Human-readable name, e.g. "BFGTS-HW". */
+    virtual std::string name() const = 0;
+
+    /**
+     * TX_BEGIN hook; called on the first begin and on every retry
+     * after an abort, yield, stall or wake.
+     */
+    virtual BeginDecision onTxBegin(const TxInfo &tx) = 0;
+
+    /** The transaction passed its begin decision and is now running. */
+    virtual void onTxStart(const TxInfo &tx) = 0;
+
+    /**
+     * Arbitrate a detected conflict (called once per conflicting
+     * holder, before onConflictDetected). The default defers to the
+     * substrate; reactive managers override this to implement their
+     * victim-selection heuristic. When several holders conflict, the
+     * most severe verdict against the requester wins, and
+     * AbortHolders is only honored if every holder loses.
+     */
+    virtual ConflictArbitration
+    arbitrate(const ArbitrationContext &context)
+    {
+        (void)context;
+        return ConflictArbitration::UseSubstrate;
+    }
+
+    /**
+     * A conflict was detected (the requester got NACKed) between the
+     * running transaction @p tx and @p other. Called once per
+     * conflicting access, whether or not the conflict later ends in
+     * an abort -- profiling managers learn their conflict graphs
+     * from these events.
+     */
+    virtual CmCost
+    onConflictDetected(const TxInfo &tx, const TxInfo &other)
+    {
+        (void)tx;
+        (void)other;
+        return CmCost{};
+    }
+
+    /**
+     * The transaction aborted after a conflict with @p other.
+     * @p other is the transaction on the far side of the conflict
+     * (the enemy), whether self- or remotely-aborted.
+     */
+    virtual AbortResponse onTxAbort(const TxInfo &tx,
+                                    const TxInfo &other) = 0;
+
+    /**
+     * The transaction committed.
+     *
+     * @param rw_lines Exact read/write set as line numbers (what the
+     *                 hardware exposes via readCPUBloomFilter(); the
+     *                 CM encodes it into its own signature).
+     */
+    virtual CmCost onTxCommit(const TxInfo &tx,
+                              const std::vector<mem::Addr> &rw_lines)
+        = 0;
+};
+
+} // namespace cm
+
+#endif // BFGTS_CM_CONTENTION_MANAGER_H

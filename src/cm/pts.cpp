@@ -1,0 +1,140 @@
+#include "pts.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+
+namespace cm {
+
+PtsManager::PtsManager(int num_cpus, const htm::TxIdSpace &ids,
+                       const Services &services,
+                       const PtsConfig &config)
+    : ContentionManagerBase(num_cpus, services), config_(config),
+      ids_(ids)
+{
+}
+
+std::uint64_t
+PtsManager::edgeKey(htm::DTxId a, htm::DTxId b)
+{
+    const auto lo = static_cast<std::uint64_t>(std::min(a, b));
+    const auto hi = static_cast<std::uint64_t>(std::max(a, b));
+    return (hi << 32) | lo;
+}
+
+double
+PtsManager::confidence(htm::DTxId a, htm::DTxId b) const
+{
+    auto it = graph_.find(edgeKey(a, b));
+    return it == graph_.end() ? 0.0 : it->second;
+}
+
+void
+PtsManager::bumpConfidence(htm::DTxId a, htm::DTxId b, double delta)
+{
+    double &conf = graph_[edgeKey(a, b)];
+    conf = std::clamp(conf + delta, 0.0, 255.0);
+}
+
+PtsManager::DtxStats &
+PtsManager::statsFor(htm::DTxId dtx)
+{
+    return stats_[dtx];
+}
+
+BeginDecision
+PtsManager::onTxBegin(const TxInfo &tx)
+{
+    BeginDecision decision;
+    decision.cost.sched = config_.scanBaseCost;
+
+    for (int cpu = 0; cpu < numCpus(); ++cpu) {
+        if (cpu == tx.cpu)
+            continue;
+        const htm::DTxId running = runningOn(cpu);
+        if (running == htm::kNoTx)
+            continue;
+        decision.cost.sched += config_.scanPerEntryCost;
+        if (confidence(tx.dTx, running)
+            > static_cast<double>(config_.confThreshold)) {
+            trackSerialization();
+            // Decay the consulted edge so repeated serializations
+            // eventually let the pair run concurrently again.
+            bumpConfidence(tx.dTx, running, -config_.suspendDecay);
+            statsFor(tx.dTx).waitedOn.push_back(running);
+            decision.waitOn = running;
+            decision.action =
+                statsFor(running).avgSize >= config_.smallTxLines
+                    ? BeginAction::YieldOn
+                    : BeginAction::StallOn;
+            return decision;
+        }
+    }
+    return decision;
+}
+
+CmCost
+PtsManager::onConflictDetected(const TxInfo &tx, const TxInfo &other)
+{
+    CmCost cost;
+    cost.sched = config_.conflictCost;
+    if (other.dTx != htm::kNoTx)
+        bumpConfidence(tx.dTx, other.dTx, config_.incVal);
+    return cost;
+}
+
+AbortResponse
+PtsManager::onTxAbort(const TxInfo &tx, const TxInfo &other)
+{
+    (void)other;
+    trackEnd(tx, false);
+    AbortResponse resp;
+    // The edge was strengthened at conflict detection; the abort
+    // only pays bookkeeping.
+    resp.cost.sched = config_.conflictCost;
+    sim_assert(services_.rng != nullptr);
+    resp.backoff = services_.rng->below(
+        std::max<sim::Cycles>(1, config_.abortBackoff * 2));
+    // An aborted attempt keeps its waitedOn history: the retry will
+    // re-run the begin scan and may serialize again.
+    return resp;
+}
+
+CmCost
+PtsManager::onTxCommit(const TxInfo &tx,
+                       const std::vector<mem::Addr> &rw_lines)
+{
+    trackEnd(tx, true);
+    CmCost cost;
+    cost.sched = config_.commitBaseCost;
+
+    DtxStats &stats = statsFor(tx.dTx);
+    const auto size = static_cast<double>(rw_lines.size());
+    stats.avgSize = stats.avgSize == 0.0 ? size
+                                         : 0.5 * (stats.avgSize + size);
+
+    // Encode this commit's read/write set.
+    auto sig = std::make_unique<bloom::BloomSignature>(config_.bloom);
+    for (mem::Addr line : rw_lines)
+        sig->insert(line);
+    const sim::Cycles words = (config_.bloom.numBits + 63) / 64;
+    cost.sched += words * config_.perWordCycle;
+
+    // Verify every serialization decision taken this execution.
+    for (htm::DTxId waited : stats.waitedOn) {
+        DtxStats &holder = statsFor(waited);
+        if (!holder.lastBloom)
+            continue;
+        cost.sched += words * config_.perWordCycle;
+        if (sig->intersectsNonEmpty(*holder.lastBloom)) {
+            bumpConfidence(tx.dTx, waited, config_.incVal);
+        } else {
+            bumpConfidence(tx.dTx, waited, -config_.decVal);
+        }
+    }
+    stats.waitedOn.clear();
+    stats.lastBloom = std::move(sig);
+    return cost;
+}
+
+} // namespace cm

@@ -1,0 +1,116 @@
+#include "predictor.h"
+
+#include "sim/logging.h"
+
+namespace cpu {
+
+PredictorSystem::PredictorSystem(int num_cpus,
+                                 const htm::TxIdSpace &ids,
+                                 const PredictorConfig &config)
+    : numCpus_(num_cpus), ids_(ids), config_(config)
+{
+    sim_assert(num_cpus >= 1);
+    units_.reserve(static_cast<std::size_t>(num_cpus));
+    for (int i = 0; i < num_cpus; ++i) {
+        Unit unit;
+        unit.cpuTable.assign(static_cast<std::size_t>(num_cpus),
+                             htm::kNoTx);
+        unit.cache = std::make_unique<mem::Cache>(config.confCache);
+        units_.push_back(std::move(unit));
+    }
+}
+
+void
+PredictorSystem::broadcastBegin(sim::CpuId cpu, htm::DTxId dtx)
+{
+    sim_assert(cpu >= 0 && cpu < numCpus_);
+    for (Unit &unit : units_)
+        unit.cpuTable[static_cast<std::size_t>(cpu)] = dtx;
+}
+
+void
+PredictorSystem::broadcastEnd(sim::CpuId cpu)
+{
+    sim_assert(cpu >= 0 && cpu < numCpus_);
+    for (Unit &unit : units_)
+        unit.cpuTable[static_cast<std::size_t>(cpu)] = htm::kNoTx;
+}
+
+mem::Addr
+PredictorSystem::confAddr(sim::CpuId cpu, htm::STxId row,
+                          htm::STxId col) const
+{
+    // Each CPU's copy of the confidence table lives in its own
+    // region; 1MB spacing keeps regions disjoint for any realistic
+    // table size (max tables in the paper are ~800 bytes).
+    const mem::Addr base = 0x10000000ULL
+                         + static_cast<mem::Addr>(cpu) * (1ULL << 20);
+    const auto index = static_cast<mem::Addr>(row)
+                         * static_cast<mem::Addr>(ids_.numStaticTx())
+                     + static_cast<mem::Addr>(col);
+    return base + index * config_.entryBytes;
+}
+
+void
+PredictorSystem::onConfidenceWrite(htm::STxId row, htm::STxId col)
+{
+    for (int cpu = 0; cpu < numCpus_; ++cpu) {
+        units_[static_cast<std::size_t>(cpu)].cache->invalidate(
+            confAddr(cpu, row, col));
+    }
+}
+
+PredictResult
+PredictorSystem::predict(sim::CpuId self, htm::STxId stx,
+                         const ConfidenceFn &read_conf,
+                         std::uint32_t threshold)
+{
+    sim_assert(self >= 0 && self < numCpus_);
+    Unit &unit = units_[static_cast<std::size_t>(self)];
+    predictions_.inc();
+
+    PredictResult result;
+    result.latency = config_.triggerCost;
+
+    for (int remote = 0; remote < numCpus_; ++remote) {
+        if (remote == self)
+            continue;
+        result.latency += config_.perEntryCost;
+        const htm::DTxId running =
+            unit.cpuTable[static_cast<std::size_t>(remote)];
+        if (running == htm::kNoTx)
+            continue;
+        // confidx = CPUTable[i] >> shift_value (paper Example 1).
+        const htm::STxId confidx = ids_.staticOf(running);
+        const bool hit = unit.cache->access(confAddr(self, stx,
+                                                     confidx));
+        result.latency += hit ? unit.cache->hitLatency()
+                              : config_.missLatency;
+        const std::uint32_t conf = read_conf(stx, confidx);
+        if (conf > threshold) {
+            result.conflictPredicted = true;
+            result.waitOn = running;
+            conflictsPredicted_.inc();
+            return result;
+        }
+    }
+    return result;
+}
+
+htm::DTxId
+PredictorSystem::cpuTableEntry(sim::CpuId viewer, sim::CpuId owner) const
+{
+    sim_assert(viewer >= 0 && viewer < numCpus_);
+    sim_assert(owner >= 0 && owner < numCpus_);
+    return units_[static_cast<std::size_t>(viewer)]
+        .cpuTable[static_cast<std::size_t>(owner)];
+}
+
+const mem::Cache &
+PredictorSystem::confCache(sim::CpuId cpu) const
+{
+    sim_assert(cpu >= 0 && cpu < numCpus_);
+    return *units_[static_cast<std::size_t>(cpu)].cache;
+}
+
+} // namespace cpu

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The BFGTS hardware scheduling accelerator (paper Section 4.1).
+ *
+ * One TxPredictor per CPU, each holding:
+ *  - a CPU Table: the dTxID currently executing on every other CPU,
+ *    kept coherent by snooping begin/commit/abort broadcasts on the
+ *    interconnect (TLB-shootdown style);
+ *  - control registers: confidence threshold, dTxID->sTxID shift,
+ *    confidence-table base address, and the dTxID to serialize
+ *    against (read back by software via TX_QUERY_PREDICTOR);
+ *  - a small (2kB, 16-way) Tx confidence cache that caches the
+ *    per-CPU confidence table and *refetches* lines killed by
+ *    invalidation snoops, so repeated predictions stay fast even
+ *    while other CPUs write the tables.
+ *
+ * On TX_BEGIN the predictor runs the paper's Example 1: walk the CPU
+ * Table, look up confidence[sTxID][sTxID(remote)], and report the
+ * first remote transaction whose confidence exceeds the threshold.
+ *
+ * The predictor does not own the confidence *values* -- those live in
+ * the BFGTS software runtime's tables -- it owns the cached *timing*
+ * of reading them, so predict() takes a read functor.
+ */
+
+#ifndef BFGTS_CPU_PREDICTOR_H
+#define BFGTS_CPU_PREDICTOR_H
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "htm/tx_id.h"
+#include "mem/cache.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace cpu {
+
+/** Timing and geometry of one predictor unit. */
+struct PredictorConfig {
+    /** Tx confidence cache (Table 2: 2kB, 16-way, 1 cycle). */
+    mem::CacheConfig confCache{
+        .sizeBytes = 2 * 1024,
+        .associativity = 16,
+        .hitLatency = 1,
+        .refetchPolicy = mem::RefetchPolicy::OnInvalidate};
+
+    /** Cycles to trigger the predictor on TX_BEGIN. */
+    sim::Cycles triggerCost = 1;
+
+    /** Cycles to scan one CPU Table entry (register read + compare). */
+    sim::Cycles perEntryCost = 1;
+
+    /** Cycles to fill a confidence line on a cache miss (from L2). */
+    sim::Cycles missLatency = 32;
+
+    /** Bytes per confidence entry in the table layout. */
+    std::uint64_t entryBytes = 4;
+};
+
+/** Result of a TX_BEGIN prediction. */
+struct PredictResult {
+    /** True if a likely conflict was found and the tx must serialize. */
+    bool conflictPredicted = false;
+    /** dTxID to serialize against (valid when conflictPredicted). */
+    htm::DTxId waitOn = htm::kNoTx;
+    /** Cycles the prediction took. */
+    sim::Cycles latency = 0;
+};
+
+/** Reads confidence[row][col] from the runtime's table. */
+using ConfidenceFn =
+    std::function<std::uint32_t(htm::STxId row, htm::STxId col)>;
+
+/**
+ * The per-CPU predictor units plus the snooping interconnect glue
+ * that keeps their CPU Tables coherent.
+ */
+class PredictorSystem
+{
+  public:
+    /**
+     * @param num_cpus      CPUs in the system (one predictor each).
+     * @param ids           dTxID encode/decode (provides the shift).
+     * @param config        Timing/geometry.
+     */
+    PredictorSystem(int num_cpus, const htm::TxIdSpace &ids,
+                    const PredictorConfig &config = {});
+
+    /**
+     * Broadcast: @p cpu started executing @p dtx. All other
+     * predictors update their CPU Table entry for @p cpu.
+     */
+    void broadcastBegin(sim::CpuId cpu, htm::DTxId dtx);
+
+    /** Broadcast: @p cpu committed or aborted its transaction. */
+    void broadcastEnd(sim::CpuId cpu);
+
+    /**
+     * The software runtime wrote confidence[row][col]; invalidate the
+     * line in every predictor's confidence cache (they refetch).
+     */
+    void onConfidenceWrite(htm::STxId row, htm::STxId col);
+
+    /**
+     * Run Example 1 on @p self's predictor.
+     *
+     * @param self       Predicting CPU.
+     * @param stx        Static ID of the transaction about to begin.
+     * @param read_conf  Confidence table reader.
+     * @param threshold  Serialize when confidence > threshold.
+     */
+    PredictResult predict(sim::CpuId self, htm::STxId stx,
+                          const ConfidenceFn &read_conf,
+                          std::uint32_t threshold);
+
+    /** CPU Table entry of @p owner as seen by @p viewer (tests). */
+    htm::DTxId cpuTableEntry(sim::CpuId viewer, sim::CpuId owner) const;
+
+    /** Confidence cache of @p cpu (stats/tests). */
+    const mem::Cache &confCache(sim::CpuId cpu) const;
+
+    const sim::Counter &predictions() const { return predictions_; }
+    const sim::Counter &conflictsPredicted() const
+    {
+        return conflictsPredicted_;
+    }
+
+  private:
+    struct Unit {
+        std::vector<htm::DTxId> cpuTable;
+        std::unique_ptr<mem::Cache> cache;
+    };
+
+    /** Synthetic physical address of confidence[row][col] for @p cpu. */
+    mem::Addr confAddr(sim::CpuId cpu, htm::STxId row,
+                       htm::STxId col) const;
+
+    int numCpus_;
+    const htm::TxIdSpace &ids_;
+    PredictorConfig config_;
+    std::vector<Unit> units_;
+    sim::Counter predictions_;
+    sim::Counter conflictsPredicted_;
+};
+
+} // namespace cpu
+
+#endif // BFGTS_CPU_PREDICTOR_H

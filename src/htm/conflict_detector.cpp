@@ -1,0 +1,194 @@
+#include "conflict_detector.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+
+namespace htm {
+
+ConflictDetector::TxSignatures &
+ConflictDetector::signaturesFor(TxState &tx)
+{
+    auto it = signatures_.find(&tx);
+    if (it == signatures_.end()) {
+        it = signatures_
+                 .emplace(&tx, std::make_unique<TxSignatures>(
+                                   policy_.signature))
+                 .first;
+    }
+    return *it->second;
+}
+
+std::vector<TxState *>
+ConflictDetector::findConflicts(TxState &tx, mem::Addr line,
+                                bool is_write)
+{
+    std::vector<TxState *> conflicts;
+    LineState &ls = lines_[line];
+
+    // Exact holders (anyone other than tx itself).
+    if (ls.writer != nullptr && ls.writer != &tx)
+        conflicts.push_back(ls.writer);
+    if (is_write) {
+        for (TxState *reader : ls.readers) {
+            // The writer may also appear in the reader list (it read
+            // the line before upgrading); report each holder once.
+            if (reader != &tx && reader != ls.writer)
+                conflicts.push_back(reader);
+        }
+    }
+
+    if (policy_.detectionMode == DetectionMode::Exact)
+        return conflicts;
+
+    // Signature mode: coherence requests test every active remote
+    // transaction's Bloom signatures; hits beyond the exact holders
+    // are false conflicts (signature aliasing).
+    std::vector<TxState *> signature_conflicts;
+    for (auto &[other, sigs] : signatures_) {
+        if (other == &tx || !other->active)
+            continue;
+        const bool hit =
+            sigs->writeSig.mayContain(line)
+            || (is_write && sigs->readSig.mayContain(line));
+        if (!hit)
+            continue;
+        signature_conflicts.push_back(other);
+        const bool real =
+            std::find(conflicts.begin(), conflicts.end(), other)
+            != conflicts.end();
+        if (!real)
+            falseConflicts_.inc();
+    }
+    // The map iterates in pointer order, which varies across runs;
+    // sort by dTxID so simulations stay bit-reproducible.
+    std::sort(signature_conflicts.begin(), signature_conflicts.end(),
+              [](const TxState *a, const TxState *b) {
+                  return a->dTxId < b->dTxId;
+              });
+    return signature_conflicts;
+}
+
+AccessResult
+ConflictDetector::access(TxState &tx, mem::Addr line, bool is_write,
+                         int stall_retries, int prior_aborts)
+{
+    sim_assert(tx.active);
+
+    AccessResult result;
+    result.conflicts = findConflicts(tx, line, is_write);
+
+    if (result.conflicts.empty()) {
+        // Conflict-free: record ownership.
+        LineState &ls = lines_[line];
+        if (is_write) {
+            ls.writer = &tx;
+            tx.writeSet.insert(line);
+        } else {
+            if (!tx.readSet.count(line))
+                ls.readers.push_back(&tx);
+            tx.readSet.insert(line);
+        }
+        if (policy_.detectionMode == DetectionMode::Signature) {
+            TxSignatures &sigs = signaturesFor(tx);
+            if (is_write)
+                sigs.writeSig.insert(line);
+            else
+                sigs.readSig.insert(line);
+        }
+        result.resolution = Resolution::Proceed;
+        return result;
+    }
+
+    conflicts_.inc();
+
+    // LogTM-flavored: the requester stalls and retries (the holder
+    // NACKs it), hoping the holder finishes. When the stall budget
+    // runs out -- a possible deadlock cycle -- the *requester*
+    // aborts itself, as LogTM does. There is no age priority in the
+    // common case, so repeated mutual aborts can starve long
+    // transactions (the reactive-manager pathology); only a
+    // transaction that has already been beaten selfAbortEscape times
+    // gets age-based arbitration, which bounds starvation.
+    if (stall_retries < policy_.maxStallRetries) {
+        result.resolution = Resolution::StallRequester;
+        return result;
+    }
+    if (prior_aborts >= policy_.selfAbortEscape) {
+        const bool requester_oldest = std::all_of(
+            result.conflicts.begin(), result.conflicts.end(),
+            [&](const TxState *holder) {
+                return tx.timestamp < holder->timestamp;
+            });
+        if (requester_oldest) {
+            result.resolution = Resolution::AbortHolders;
+            return result;
+        }
+    }
+    result.resolution = Resolution::AbortRequester;
+    return result;
+}
+
+void
+ConflictDetector::removeTx(TxState &tx)
+{
+    signatures_.erase(&tx);
+    for (mem::Addr line : tx.readSet) {
+        auto it = lines_.find(line);
+        if (it == lines_.end())
+            continue;
+        auto &readers = it->second.readers;
+        readers.erase(std::remove(readers.begin(), readers.end(), &tx),
+                      readers.end());
+        if (readers.empty() && it->second.writer == nullptr)
+            lines_.erase(it);
+    }
+    for (mem::Addr line : tx.writeSet) {
+        auto it = lines_.find(line);
+        if (it == lines_.end())
+            continue;
+        if (it->second.writer == &tx)
+            it->second.writer = nullptr;
+        if (it->second.readers.empty() && it->second.writer == nullptr)
+            lines_.erase(it);
+    }
+}
+
+bool
+ConflictDetector::consistentWith(
+    const std::vector<TxState *> &active) const
+{
+    // Every read/write-set entry of every active tx must be present
+    // in the registry, and vice versa.
+    std::size_t expected_reads = 0;
+    std::size_t expected_writes = 0;
+    for (const TxState *tx : active) {
+        for (mem::Addr line : tx->readSet) {
+            auto it = lines_.find(line);
+            if (it == lines_.end())
+                return false;
+            const auto &readers = it->second.readers;
+            if (std::find(readers.begin(), readers.end(), tx)
+                == readers.end()) {
+                return false;
+            }
+            ++expected_reads;
+        }
+        for (mem::Addr line : tx->writeSet) {
+            auto it = lines_.find(line);
+            if (it == lines_.end() || it->second.writer != tx)
+                return false;
+            ++expected_writes;
+        }
+    }
+    std::size_t actual_reads = 0;
+    std::size_t actual_writes = 0;
+    for (const auto &[line, ls] : lines_) {
+        actual_reads += ls.readers.size();
+        actual_writes += ls.writer != nullptr ? 1 : 0;
+    }
+    return actual_reads == expected_reads
+        && actual_writes == expected_writes;
+}
+
+} // namespace htm

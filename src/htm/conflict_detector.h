@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Eager, exact conflict detection at cache-line granularity.
+ *
+ * The detector maintains, per line, the current transactional writer
+ * and the set of transactional readers. An access by transaction T
+ * conflicts when:
+ *   - read:  another transaction has the line in its write set;
+ *   - write: another transaction has the line in its read or write
+ *            set.
+ * Read-read sharing never conflicts.
+ *
+ * Resolution policy (LogTM-flavored, hybrid "eldest wins"):
+ *   - If the requester is older than every conflicting holder, the
+ *     holders abort (the oldest transaction in the system can always
+ *     make progress -- no livelock).
+ *   - Otherwise the requester stalls and retries; after a bounded
+ *     number of consecutive stalls on the same access it aborts
+ *     itself (breaks potential deadlock cycles, as LogTM's
+ *     possible-cycle heuristic does).
+ */
+
+#ifndef BFGTS_HTM_CONFLICT_DETECTOR_H
+#define BFGTS_HTM_CONFLICT_DETECTOR_H
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+#include "htm/tx_state.h"
+#include "sim/stats.h"
+
+namespace htm {
+
+/** How transactional read/write sets are checked for conflicts. */
+enum class DetectionMode {
+    /** Exact per-line ownership ("perfect signature", Table 2). */
+    Exact,
+    /**
+     * LogTM-SE-style Bloom signatures: each transaction's read and
+     * write sets are tracked as hardware Bloom filters and coherence
+     * requests test against them. False positives cause *false
+     * conflicts* -- transactions serialized or aborted over lines
+     * they never actually shared (Sanchez et al., MICRO'07).
+     */
+    Signature,
+};
+
+/** What the requester must do about a conflicting access. */
+enum class Resolution {
+    /** No conflict: the access was recorded; proceed. */
+    Proceed,
+    /** Conflict: requester must stall and retry this access. */
+    StallRequester,
+    /** Conflict: requester must abort itself. */
+    AbortRequester,
+    /** Conflict: the holders listed must abort; requester retries. */
+    AbortHolders,
+};
+
+/** Outcome of one requested access. */
+struct AccessResult {
+    Resolution resolution = Resolution::Proceed;
+    /** Conflicting transactions (holders), when resolution != Proceed. */
+    std::vector<TxState *> conflicts;
+};
+
+/** Tunables of the resolution policy. */
+struct ConflictPolicy {
+    /**
+     * Consecutive stalls on one access before the conflict escalates
+     * to an abort (LogTM's possible-cycle heuristic fires quickly;
+     * sustained conflicts in an eager HTM end in aborts).
+     */
+    int maxStallRetries = 1;
+
+    /** Conflict check mechanism (exact, or Bloom signatures). */
+    DetectionMode detectionMode = DetectionMode::Exact;
+
+    /** Signature geometry when detectionMode == Signature. */
+    bloom::BloomConfig signature{.numBits = 2048, .numHashes = 4};
+
+    /**
+     * LogTM aborts the *requester* on a possible cycle, with no age
+     * priority -- which is what lets repeated mutual aborts starve
+     * long transactions under reactive managers (Bobba et al.'s
+     * pathologies). Only after a transaction has self-aborted this
+     * many times does age-based arbitration kick in and let an old
+     * requester kill younger holders, bounding worst-case starvation.
+     */
+    int selfAbortEscape = 8;
+};
+
+/**
+ * Global registry of transactional ownership.
+ *
+ * All methods are O(1)-ish per line touched; commit/abort removal is
+ * proportional to the transaction's footprint.
+ */
+class ConflictDetector
+{
+  public:
+    explicit ConflictDetector(const ConflictPolicy &policy = {})
+        : policy_(policy)
+    {
+    }
+
+    /**
+     * Attempt an access and record it if conflict-free.
+     *
+     * @param tx            Requesting transaction (must be active).
+     * @param line          Line number (mem::lineNumber of the addr).
+     * @param is_write      Store or load.
+     * @param stall_retries Consecutive stalls the requester has already
+     *                      suffered on this same access.
+     * @param prior_aborts  Times this transactional section has
+     *                      already aborted (starvation escape hatch).
+     * @return Resolution and the conflicting holders, if any. On
+     *         Proceed the line was added to tx's read/write set and
+     *         the registry. On AbortHolders the caller must abort
+     *         every holder (abortTx) and then retry the access.
+     */
+    AccessResult access(TxState &tx, mem::Addr line, bool is_write,
+                        int stall_retries, int prior_aborts = 0);
+
+    /**
+     * Remove @p tx from the registry (commit or abort). The caller
+     * owns undoing speculative state; this only releases isolation.
+     */
+    void removeTx(TxState &tx);
+
+    /** Number of lines with at least one transactional owner. */
+    std::size_t ownedLines() const { return lines_.size(); }
+
+    const sim::Counter &conflictsDetected() const { return conflicts_; }
+
+    /**
+     * Conflicts reported by Bloom signatures that the exact sets
+     * disprove (signature mode only): pure false-positive cost.
+     */
+    const sim::Counter &falseConflicts() const
+    {
+        return falseConflicts_;
+    }
+
+    /** Sanity check (tests): registry matches every active tx's sets. */
+    bool consistentWith(const std::vector<TxState *> &active) const;
+
+  private:
+    struct LineState {
+        TxState *writer = nullptr;
+        std::vector<TxState *> readers;
+    };
+
+    /** Per-transaction hardware signatures (Signature mode). */
+    struct TxSignatures {
+        bloom::BloomFilter readSig;
+        bloom::BloomFilter writeSig;
+        explicit TxSignatures(const bloom::BloomConfig &config)
+            : readSig(config), writeSig(config)
+        {
+        }
+    };
+
+    /** Holders the configured mechanism reports for an access. */
+    std::vector<TxState *> findConflicts(TxState &tx, mem::Addr line,
+                                         bool is_write);
+
+    TxSignatures &signaturesFor(TxState &tx);
+
+    ConflictPolicy policy_;
+    std::unordered_map<mem::Addr, LineState> lines_;
+    std::unordered_map<TxState *, std::unique_ptr<TxSignatures>>
+        signatures_;
+    sim::Counter conflicts_;
+    sim::Counter falseConflicts_;
+};
+
+} // namespace htm
+
+#endif // BFGTS_HTM_CONFLICT_DETECTOR_H

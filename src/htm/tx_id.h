@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Static and dynamic transaction identifiers (paper Section 4).
+ *
+ * An sTxID names a transaction *site* in the program source; a dTxID
+ * is the concatenation of an sTxID with the executing thread's ID.
+ * The hardware predictor recovers the sTxID from a dTxID with a right
+ * shift (Example 1: "confidx = CPUTable[i] >> shift_value"), so the
+ * encoding here places the sTxID in the high bits:
+ *
+ *     dTxID = (sTxID << threadBits) | threadId
+ */
+
+#ifndef BFGTS_HTM_TX_ID_H
+#define BFGTS_HTM_TX_ID_H
+
+#include <cstdint>
+
+#include "sim/logging.h"
+#include "sim/types.h"
+
+namespace htm {
+
+/** Static transaction ID, assigned in program code. */
+using STxId = int;
+
+/** Dynamic transaction ID: (sTxID << threadBits) | threadId. */
+using DTxId = int;
+
+/** Sentinel: no transaction. */
+constexpr DTxId kNoTx = -1;
+
+/**
+ * Encoder/decoder for the dTxID space of one program run.
+ *
+ * The shift value is what BFGTS programs into the predictor's shift
+ * register via TX_QUERY_PREDICTOR.
+ */
+class TxIdSpace
+{
+  public:
+    /**
+     * @param num_static_tx Number of transaction sites in the code.
+     * @param num_threads   Number of software threads.
+     */
+    TxIdSpace(int num_static_tx, int num_threads)
+        : numStaticTx_(num_static_tx), numThreads_(num_threads),
+          shift_(bitsFor(num_threads))
+    {
+        sim_assert(num_static_tx >= 1);
+        sim_assert(num_threads >= 1);
+    }
+
+    /** Encode a dTxID. */
+    DTxId
+    make(sim::ThreadId thread, STxId stx) const
+    {
+        sim_assert(thread >= 0 && thread < numThreads_);
+        sim_assert(stx >= 0 && stx < numStaticTx_);
+        return (stx << shift_) | thread;
+    }
+
+    /** The predictor's shift: sTxID = dTxID >> shift. */
+    int shift() const { return shift_; }
+
+    /** Recover the static ID (the hardware's right shift). */
+    STxId
+    staticOf(DTxId dtx) const
+    {
+        sim_assert(dtx >= 0);
+        return dtx >> shift_;
+    }
+
+    /** Recover the thread ID (mask off the sTxID bits). */
+    sim::ThreadId
+    threadOf(DTxId dtx) const
+    {
+        sim_assert(dtx >= 0);
+        return dtx & ((1 << shift_) - 1);
+    }
+
+    int numStaticTx() const { return numStaticTx_; }
+    int numThreads() const { return numThreads_; }
+
+    /** Total number of distinct dTxIDs. */
+    int
+    numDynamicTx() const
+    {
+        return numStaticTx_ * numThreads_;
+    }
+
+    /**
+     * Dense index of a dTxID in [0, numDynamicTx()), for array-backed
+     * per-dTxID tables (statistics, Bloom filter tables).
+     */
+    int
+    denseIndex(DTxId dtx) const
+    {
+        return staticOf(dtx) * numThreads_ + threadOf(dtx);
+    }
+
+  private:
+    static int
+    bitsFor(int n)
+    {
+        int bits = 1;
+        while ((1 << bits) < n)
+            ++bits;
+        return bits;
+    }
+
+    int numStaticTx_;
+    int numThreads_;
+    int shift_;
+};
+
+} // namespace htm
+
+#endif // BFGTS_HTM_TX_ID_H

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Per-transaction runtime state tracked by the HTM substrate.
+ *
+ * The baseline system is LogTM-like: eager version management (undo
+ * log) and eager conflict detection on exact read/write sets held at
+ * cache-line granularity ("perfect signature used for conflict
+ * detection", Table 2). Contention managers never see these exact
+ * sets directly; they work from the Bloom/perfect Signature the
+ * runtime captures at commit.
+ */
+
+#ifndef BFGTS_HTM_TX_STATE_H
+#define BFGTS_HTM_TX_STATE_H
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "htm/tx_id.h"
+#include "mem/addr.h"
+#include "sim/types.h"
+
+namespace htm {
+
+/** State of one in-flight transaction. */
+struct TxState {
+    /** Dynamic transaction ID. */
+    DTxId dTxId = kNoTx;
+
+    /** Executing software thread. */
+    sim::ThreadId thread = sim::kNoThread;
+
+    /** CPU the thread is running on. */
+    sim::CpuId cpu = sim::kNoCpu;
+
+    /**
+     * Age for conflict resolution. Assigned at the *first* begin of a
+     * transactional section and preserved across aborts/retries, as
+     * in LogTM, so a repeatedly aborted transaction grows relatively
+     * older and eventually wins every conflict (no starvation).
+     */
+    std::uint64_t timestamp = 0;
+
+    /** Tick this attempt started executing (for wasted-work stats). */
+    sim::Tick attemptStart = 0;
+
+    /** Exact read set (line numbers). */
+    std::unordered_set<mem::Addr> readSet;
+
+    /** Exact write set (line numbers). */
+    std::unordered_set<mem::Addr> writeSet;
+
+    /** Cycles of useful work done in this attempt (for abort cost). */
+    sim::Cycles workDone = 0;
+
+    /** Number of accesses performed in this attempt. */
+    int accessesDone = 0;
+
+    /** True between begin and commit/abort. */
+    bool active = false;
+
+    /** Read/write set footprint in lines. */
+    std::size_t
+    footprint() const
+    {
+        // Sets may overlap (read-then-write lines live in both);
+        // count the union. writeSet is usually the smaller.
+        std::size_t unique_writes = 0;
+        for (mem::Addr line : writeSet)
+            unique_writes += readSet.count(line) ? 0 : 1;
+        return readSet.size() + unique_writes;
+    }
+
+    /** Reset per-attempt state (sets, work), keeping identity/age. */
+    void
+    resetAttempt()
+    {
+        readSet.clear();
+        writeSet.clear();
+        workDone = 0;
+        accessesDone = 0;
+        active = false;
+    }
+};
+
+} // namespace htm
+
+#endif // BFGTS_HTM_TX_STATE_H

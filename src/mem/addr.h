@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Address types and cache-line helpers.
+ *
+ * Conflict detection in LogTM-style HTMs happens at cache-line
+ * granularity, so the whole simulator normalizes addresses to line
+ * addresses early. Table 2 fixes the line size at 64 bytes.
+ */
+
+#ifndef BFGTS_MEM_ADDR_H
+#define BFGTS_MEM_ADDR_H
+
+#include <cstdint>
+
+namespace mem {
+
+/** A physical byte address. */
+using Addr = std::uint64_t;
+
+/** Cache line size in bytes (Table 2: 64-byte lines everywhere). */
+constexpr std::uint64_t kLineBytes = 64;
+
+/** log2 of the line size. */
+constexpr int kLineShift = 6;
+static_assert((1ULL << kLineShift) == kLineBytes);
+
+/** The line-aligned address containing @p addr. */
+constexpr Addr
+lineAlign(Addr addr)
+{
+    return addr & ~(kLineBytes - 1);
+}
+
+/** The line number (address >> log2(line size)). */
+constexpr Addr
+lineNumber(Addr addr)
+{
+    return addr >> kLineShift;
+}
+
+} // namespace mem
+
+#endif // BFGTS_MEM_ADDR_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared snooping bus occupancy model (Table 2: "Shared bus at 2GHz").
+ *
+ * The bus serializes L1-miss traffic: each transfer occupies the bus
+ * for a fixed number of cycles and later requests queue behind it.
+ * The model is a single "free at" horizon, which is exact for a
+ * non-pipelined bus with FIFO arbitration.
+ */
+
+#ifndef BFGTS_MEM_BUS_H
+#define BFGTS_MEM_BUS_H
+
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace mem {
+
+/** Single shared bus with FIFO arbitration. */
+class Bus
+{
+  public:
+    /** @param occupancy Cycles one transfer holds the bus. */
+    explicit Bus(sim::Cycles occupancy = 4) : occupancy_(occupancy) {}
+
+    /**
+     * Arbitrate for the bus at time @p now.
+     *
+     * @return Queuing delay before the transfer can start; the
+     *         transfer itself then takes occupancy() cycles.
+     */
+    sim::Cycles
+    request(sim::Tick now)
+    {
+        requests_.inc();
+        sim::Cycles wait = 0;
+        if (freeAt_ > now) {
+            wait = freeAt_ - now;
+            queuedCycles_.inc(wait);
+        }
+        freeAt_ = now + wait + occupancy_;
+        return wait;
+    }
+
+    sim::Cycles occupancy() const { return occupancy_; }
+
+    /** First tick at which the bus is idle again. */
+    sim::Tick freeAt() const { return freeAt_; }
+
+    const sim::Counter &requests() const { return requests_; }
+    const sim::Counter &queuedCycles() const { return queuedCycles_; }
+
+  private:
+    sim::Cycles occupancy_;
+    sim::Tick freeAt_ = 0;
+    sim::Counter requests_;
+    sim::Counter queuedCycles_;
+};
+
+} // namespace mem
+
+#endif // BFGTS_MEM_BUS_H

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Software-thread context for the OS scheduling model.
+ *
+ * The evaluation runs an overcommitted system: 64 threads on 16 CPUs,
+ * 4 threads statically assigned per CPU (paper Section 5.1). A thread
+ * is a schedulable entity; what it *does* when running is owned by
+ * the simulation runner (runner/simulation.cpp), which registers a
+ * dispatch callback with the scheduler.
+ */
+
+#ifndef BFGTS_OS_THREAD_H
+#define BFGTS_OS_THREAD_H
+
+#include "sim/types.h"
+
+namespace os {
+
+/** Scheduling state of a thread. */
+enum class ThreadState {
+    /** On its CPU's ready queue. */
+    Ready,
+    /** Currently executing on its CPU. */
+    Running,
+    /** Waiting for an explicit wake() (e.g. ATS wait queue). */
+    Blocked,
+    /** Completed all of its work. */
+    Finished,
+};
+
+/** Scheduler-visible bookkeeping for one thread. */
+struct ThreadContext {
+    sim::ThreadId id = sim::kNoThread;
+
+    /** Static home CPU (threads do not migrate, as in the paper). */
+    sim::CpuId cpu = sim::kNoCpu;
+
+    ThreadState state = ThreadState::Ready;
+
+    /**
+     * A wake() arrived while the thread was still running toward its
+     * block (signal-before-sleep); the next blockCurrent() consumes
+     * it and becomes a no-op requeue, as with a futex.
+     */
+    bool wakePending = false;
+
+    /** Tick of the last dispatch (for quantum accounting). */
+    sim::Tick dispatchedAt = 0;
+
+    /** Total kernel-mode cycles charged to this thread. */
+    sim::Cycles kernelCycles = 0;
+
+    /** Voluntary yields (pthread_yield). */
+    std::uint64_t yields = 0;
+
+    /** Involuntary preemptions at quantum expiry. */
+    std::uint64_t preemptions = 0;
+
+    /** Block/wake round trips (e.g. ATS queue waits). */
+    std::uint64_t blocks = 0;
+};
+
+} // namespace os
+
+#endif // BFGTS_OS_THREAD_H

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Full simulation configuration (paper Table 2 defaults).
+ *
+ * A SimConfig is a pure value: two simulations built from equal
+ * configs (including the seed) produce identical results.
+ */
+
+#ifndef BFGTS_RUNNER_CONFIG_H
+#define BFGTS_RUNNER_CONFIG_H
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <memory>
+#include <string>
+
+#include "cm/factory.h"
+#include "cpu/predictor.h"
+#include "htm/tx_id.h"
+#include "htm/conflict_detector.h"
+#include "htm/version_log.h"
+#include "mem/mem_system.h"
+#include "os/scheduler.h"
+#include "workloads/workload.h"
+
+namespace runner {
+
+/** Builds the workload for a run (given the thread count). */
+using WorkloadFactory =
+    std::function<std::unique_ptr<workloads::Workload>(int num_threads)>;
+
+/** Builds a custom contention manager (overrides `cm` when set). */
+using ManagerFactory =
+    std::function<std::unique_ptr<cm::ContentionManager>(
+        int num_cpus, const htm::TxIdSpace &ids,
+        const cm::Services &services)>;
+
+/** Everything needed to run one simulation. */
+struct SimConfig {
+    /** STAMP benchmark name; ignored if workloadFactory is set. */
+    std::string workload = "Intruder";
+
+    /** Optional custom workload (examples/ uses this). */
+    WorkloadFactory workloadFactory;
+
+    /** Contention manager under test. */
+    cm::CmKind cm = cm::CmKind::BfgtsHw;
+
+    /** Optional user-defined manager (examples/custom_manager.cpp);
+     *  when set, `cm` is ignored. */
+    ManagerFactory managerFactory;
+
+    /** Table 2: 16 one-IPC cores. */
+    int numCpus = 16;
+
+    /** Section 5.1: overcommitted, 4 threads per processor. */
+    int threadsPerCpu = 4;
+
+    /** Master seed; everything derives from it. */
+    std::uint64_t seed = 1;
+
+    /** Override the workload's transactions-per-thread (0 = keep). */
+    int txPerThreadOverride = 0;
+
+    /** Memory hierarchy (numCpus is synchronized at build time). */
+    mem::MemSystemConfig mem;
+
+    /** OS model. */
+    os::SchedulerConfig sched;
+
+    /** LogTM-style conflict resolution. */
+    htm::ConflictPolicy conflict;
+
+    /** Hardware scheduling accelerator (BFGTS-HW variants). */
+    cpu::PredictorConfig predictor;
+
+    /** Per-manager tunables. */
+    cm::CmTuning tuning;
+
+    // ---- runner cost model -------------------------------------------
+    /** Cycles to commit a transaction (log seal + broadcast). */
+    sim::Cycles commitLatency = 20;
+    /** LogTM undo-log cost model (append / commit / abort walk). */
+    htm::VersionLogConfig versionLog;
+    /** Cycles between NACKed-access retries (in-tx stall). */
+    sim::Cycles nackRetryInterval = 30;
+    /** Cycles between begin-stall polls (TX_QUERY_PREDICTOR spin). */
+    sim::Cycles beginStallPollInterval = 50;
+    /** Give up a begin-stall after this many cycles (safety valve). */
+    sim::Cycles beginStallTimeout = 2'000'000;
+    /** Preemption-check granularity for non-transactional work. */
+    sim::Cycles nonTxChunk = 20'000;
+
+    /**
+     * When set, every transaction-lifecycle event (begin decision,
+     * start, conflict, abort, commit) is written here as one line:
+     * "tick=<n> thread=<t> <event> ...". For debugging and tests;
+     * adds no simulated cost.
+     */
+    std::ostream *traceStream = nullptr;
+
+    /** Total software threads. */
+    int
+    numThreads() const
+    {
+        return numCpus * threadsPerCpu;
+    }
+};
+
+} // namespace runner
+
+#endif // BFGTS_RUNNER_CONFIG_H

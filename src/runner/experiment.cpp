@@ -1,0 +1,75 @@
+#include "experiment.h"
+
+#include "sim/logging.h"
+#include "workloads/stamp.h"
+
+namespace runner {
+
+SimConfig
+makeConfig(const std::string &workload, cm::CmKind kind,
+           const RunOptions &options)
+{
+    SimConfig config;
+    config.workload = workload;
+    config.cm = kind;
+    config.numCpus = options.numCpus;
+    config.threadsPerCpu = options.threadsPerCpu;
+    config.seed = options.seed;
+    config.txPerThreadOverride = options.txPerThread;
+    config.tuning = options.tuning;
+    if (options.bloomBits != 0)
+        config.tuning.bfgts.bloom.numBits = options.bloomBits;
+    if (options.smallTxInterval != 0)
+        config.tuning.bfgts.smallTxInterval = options.smallTxInterval;
+    return config;
+}
+
+SimResults
+runStamp(const std::string &workload, cm::CmKind kind,
+         const RunOptions &options)
+{
+    Simulation simulation(makeConfig(workload, kind, options));
+    return simulation.run();
+}
+
+SimResults
+runSingleCoreBaseline(const std::string &workload,
+                      const RunOptions &options)
+{
+    RunOptions single = options;
+    single.numCpus = 1;
+    single.threadsPerCpu = 1;
+    // Same total work: one thread runs what all parallel threads
+    // would have, combined.
+    const int per_thread =
+        options.txPerThread > 0
+            ? options.txPerThread
+            : workloads::makeStampWorkload(workload, 1)->txPerThread();
+    single.txPerThread =
+        per_thread * options.numCpus * options.threadsPerCpu;
+    return runStamp(workload, cm::CmKind::Backoff, single);
+}
+
+double
+speedupOverOneCore(const SimResults &parallel,
+                   const SimResults &baseline)
+{
+    sim_assert(parallel.runtime > 0);
+    return static_cast<double>(baseline.runtime)
+         / static_cast<double>(parallel.runtime);
+}
+
+sim::Tick
+BaselineCache::runtime(const std::string &workload,
+                       const RunOptions &options)
+{
+    auto it = cache_.find(workload);
+    if (it != cache_.end())
+        return it->second;
+    const SimResults baseline =
+        runSingleCoreBaseline(workload, options);
+    cache_.emplace(workload, baseline.runtime);
+    return baseline.runtime;
+}
+
+} // namespace runner

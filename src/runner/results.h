@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Simulation outputs: runtime, contention, time breakdown, and the
+ * Table-1-style per-site measurements.
+ */
+
+#ifndef BFGTS_RUNNER_RESULTS_H
+#define BFGTS_RUNNER_RESULTS_H
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace runner {
+
+/** Where the machine's cycles went (Fig. 5 categories). */
+struct Breakdown {
+    /** Useful non-transactional work. */
+    sim::Cycles nonTx = 0;
+    /** Kernel mode: context switches, yields, blocks, queue ops. */
+    sim::Cycles kernel = 0;
+    /** Useful (committed) transactional work. */
+    sim::Cycles tx = 0;
+    /** Aborted transactional work + rollback + backoff. */
+    sim::Cycles aborted = 0;
+    /** Contention-manager scheduling work (prediction, Bloom math,
+     *  begin-stall spinning). */
+    sim::Cycles sched = 0;
+    /** CPU idle (no runnable thread). */
+    sim::Cycles idle = 0;
+
+    sim::Cycles
+    total() const
+    {
+        return nonTx + kernel + tx + aborted + sched + idle;
+    }
+
+    /** Fraction of total machine cycles in a category. */
+    double
+    frac(sim::Cycles category) const
+    {
+        const sim::Cycles t = total();
+        return t == 0 ? 0.0
+                      : static_cast<double>(category)
+                            / static_cast<double>(t);
+    }
+};
+
+/** Everything one simulation run reports. */
+struct SimResults {
+    std::string workload;
+    std::string cm;
+
+    /** Ticks until the last thread finished. */
+    sim::Tick runtime = 0;
+
+    std::uint64_t commits = 0;
+    std::uint64_t aborts = 0;
+    /** Conflicting accesses detected (can exceed aborts: stalls). */
+    std::uint64_t conflicts = 0;
+    /** Begin-time serializations the CM imposed. */
+    std::uint64_t serializations = 0;
+    /** Begin-stalls that hit the safety timeout (should be ~0). */
+    std::uint64_t stallTimeouts = 0;
+
+    /** Table 4 metric: aborts / (commits + aborts). */
+    double contentionRate = 0.0;
+
+    Breakdown breakdown;
+
+    /** Measured average similarity per static transaction site
+     *  (Table 1), from exact read/write sets. */
+    std::vector<double> similarityPerSite;
+
+    /** Observed conflict graph as (min,max) site pairs (Table 1). */
+    std::set<std::pair<int, int>> conflictGraph;
+
+    /** Aborts per (min,max) site pair (diagnostics). */
+    std::map<std::pair<int, int>, std::uint64_t> abortPairs;
+};
+
+} // namespace runner
+
+#endif // BFGTS_RUNNER_RESULTS_H

@@ -1,0 +1,737 @@
+#include "simulation.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+#include "workloads/stamp.h"
+
+namespace runner {
+
+Simulation::Simulation(const SimConfig &config)
+    : config_(config), rng_(config.seed)
+{
+    sim_assert(config_.numCpus >= 1);
+    sim_assert(config_.threadsPerCpu >= 1);
+    const int num_threads = config_.numThreads();
+
+    if (config_.workloadFactory) {
+        workload_ = config_.workloadFactory(num_threads);
+    } else {
+        workload_ = workloads::makeStampWorkload(config_.workload,
+                                                 num_threads);
+    }
+    sim_assert(workload_ != nullptr);
+
+    ids_ = std::make_unique<htm::TxIdSpace>(workload_->numStaticTx(),
+                                            num_threads);
+
+    mem::MemSystemConfig mem_config = config_.mem;
+    mem_config.numCpus = config_.numCpus;
+    mem_ = std::make_unique<mem::MemSystem>(mem_config);
+
+    detector_ =
+        std::make_unique<htm::ConflictDetector>(config_.conflict);
+
+    os::SchedulerConfig sched_config = config_.sched;
+    sched_config.numCpus = config_.numCpus;
+    sched_ = std::make_unique<os::OsScheduler>(events_, sched_config);
+
+    predictors_ = std::make_unique<cpu::PredictorSystem>(
+        config_.numCpus, *ids_, config_.predictor);
+
+    cm::Services services;
+    services.scheduler = sched_.get();
+    services.rng = &rng_;
+    services.events = &events_;
+    if (config_.cm == cm::CmKind::BfgtsHw
+        || config_.cm == cm::CmKind::BfgtsHwBackoff) {
+        services.predictors = predictors_.get();
+    }
+    if (config_.managerFactory) {
+        cm_ = config_.managerFactory(config_.numCpus, *ids_,
+                                     services);
+    } else {
+        cm_ = cm::makeManager(config_.cm, config_.numCpus, *ids_,
+                              services, config_.tuning);
+    }
+    sim_assert(cm_ != nullptr);
+
+    workers_.resize(static_cast<std::size_t>(num_threads));
+    for (int t = 0; t < num_threads; ++t) {
+        const sim::CpuId cpu = t % config_.numCpus;
+        const sim::ThreadId tid = sched_->addThread(cpu);
+        sim_assert(tid == t);
+        Worker &worker = workers_[static_cast<std::size_t>(t)];
+        worker.tid = tid;
+        worker.undoLog = htm::VersionLog(config_.versionLog);
+        worker.rng = sim::Rng(
+            sim::mix64(config_.seed
+                       ^ (0x6a09e667f3bcc909ULL
+                          * static_cast<std::uint64_t>(t + 1))));
+    }
+
+    simTrack_.resize(static_cast<std::size_t>(ids_->numDynamicTx()));
+    siteSim_.resize(
+        static_cast<std::size_t>(workload_->numStaticTx()));
+
+    sched_->setDispatchFn([this](sim::ThreadId tid) {
+        step(workers_[static_cast<std::size_t>(tid)]);
+    });
+}
+
+Simulation::~Simulation() = default;
+
+void
+Simulation::trace(const Worker &worker, const char *event,
+                  const std::string &detail)
+{
+    if (config_.traceStream == nullptr)
+        return;
+    *config_.traceStream
+        << "tick=" << events_.curTick() << " thread=" << worker.tid
+        << " sTx=" << ids_->staticOf(worker.tx.dTxId) << ' ' << event;
+    if (!detail.empty())
+        *config_.traceStream << ' ' << detail;
+    *config_.traceStream << '\n';
+}
+
+cm::TxInfo
+Simulation::infoFor(const Worker &worker) const
+{
+    return infoFor(worker.tx);
+}
+
+cm::TxInfo
+Simulation::infoFor(const htm::TxState &tx) const
+{
+    cm::TxInfo info;
+    info.thread = tx.thread;
+    info.cpu = tx.cpu;
+    info.dTx = tx.dTxId;
+    info.sTx = ids_->staticOf(tx.dTxId);
+    return info;
+}
+
+bool
+Simulation::isTxRunning(htm::DTxId dtx) const
+{
+    return runningTx_.count(dtx) > 0;
+}
+
+void
+Simulation::charge(Worker &worker, sim::Cycles cycles, Bucket bucket)
+{
+    switch (bucket) {
+      case Bucket::NonTx:
+        worker.buckets.nonTx += cycles;
+        break;
+      case Bucket::Kernel:
+        worker.buckets.kernel += cycles;
+        break;
+      case Bucket::Sched:
+        worker.buckets.sched += cycles;
+        break;
+      case Bucket::Abort:
+        worker.buckets.aborted += cycles;
+        break;
+      case Bucket::Attempt:
+        worker.attemptCycles += cycles;
+        break;
+    }
+}
+
+void
+Simulation::advance(Worker &worker, sim::Cycles cycles, Bucket bucket)
+{
+    advanceMulti(worker, {{cycles, bucket}});
+}
+
+void
+Simulation::advanceMulti(Worker &worker,
+                         const std::vector<Charge> &charges)
+{
+    sim_assert(worker.pendingEvent == sim::kNoEvent);
+    sim::Cycles total = 0;
+    for (const Charge &item : charges) {
+        charge(worker, item.cycles, item.bucket);
+        total += item.cycles;
+    }
+    Worker *wp = &worker;
+    worker.pendingEvent = events_.scheduleIn(total, [this, wp] {
+        wp->pendingEvent = sim::kNoEvent;
+        step(*wp);
+    });
+}
+
+void
+Simulation::step(Worker &worker)
+{
+    sim_assert(worker.pendingEvent == sim::kNoEvent);
+    sim_assert(sched_->runningOn(sched_->thread(worker.tid).cpu)
+               == worker.tid);
+    bool cont = true;
+    while (cont) {
+        switch (worker.phase) {
+          case Phase::StartDescriptor:
+            cont = doStartDescriptor(worker);
+            break;
+          case Phase::NonTxWork:
+            cont = doNonTxWork(worker);
+            break;
+          case Phase::TxBegin:
+            cont = doTxBegin(worker);
+            break;
+          case Phase::BeginStall:
+            cont = doBeginStall(worker);
+            break;
+          case Phase::YieldNow:
+            worker.phase = Phase::TxBegin;
+            sched_->yieldCurrent(worker.tid);
+            cont = false;
+            break;
+          case Phase::BlockNow:
+            worker.phase = Phase::TxBegin;
+            sched_->blockCurrent(worker.tid);
+            cont = false;
+            break;
+          case Phase::TxAccess:
+            cont = doTxAccess(worker);
+            break;
+          case Phase::Commit:
+            cont = doCommit(worker);
+            break;
+          case Phase::CommitDone:
+            cont = doCommitDone(worker);
+            break;
+        }
+    }
+}
+
+bool
+Simulation::doStartDescriptor(Worker &worker)
+{
+    const int tx_total = config_.txPerThreadOverride > 0
+                             ? config_.txPerThreadOverride
+                             : workload_->txPerThread();
+    if (worker.done >= tx_total) {
+        lastFinish_ = std::max(lastFinish_, events_.curTick());
+        ++finishedThreads_;
+        sched_->finishCurrent(worker.tid);
+        return false;
+    }
+    if (sched_->shouldPreempt(worker.tid)) {
+        sched_->preemptCurrent(worker.tid);
+        return false;
+    }
+    worker.desc = workload_->next(worker.tid, worker.rng);
+    worker.tx.dTxId = ids_->make(worker.tid, worker.desc.sTx);
+    worker.tx.thread = worker.tid;
+    worker.tx.cpu = sched_->thread(worker.tid).cpu;
+    // Age is assigned once per transactional section and survives
+    // aborts, so a long-suffering transaction eventually wins.
+    worker.tx.timestamp = nextTimestamp_++;
+    worker.nonTxRemaining = worker.desc.nonTxWork;
+    worker.descriptorAborts = 0;
+    worker.phase = Phase::NonTxWork;
+    return true;
+}
+
+bool
+Simulation::doNonTxWork(Worker &worker)
+{
+    if (worker.nonTxRemaining == 0) {
+        worker.phase = Phase::TxBegin;
+        return true;
+    }
+    if (sched_->shouldPreempt(worker.tid)) {
+        sched_->preemptCurrent(worker.tid);
+        return false;
+    }
+    const sim::Cycles chunk =
+        std::min(worker.nonTxRemaining, config_.nonTxChunk);
+    worker.nonTxRemaining -= chunk;
+    advance(worker, chunk, Bucket::NonTx);
+    return false;
+}
+
+bool
+Simulation::doTxBegin(Worker &worker)
+{
+    const cm::TxInfo info = infoFor(worker);
+    const cm::BeginDecision decision = cm_->onTxBegin(info);
+    const std::vector<Charge> cost_charges{
+        {decision.cost.sched, Bucket::Sched},
+        {decision.cost.kernel, Bucket::Kernel}};
+
+    switch (decision.action) {
+      case cm::BeginAction::Proceed: {
+        trace(worker, "start");
+        worker.tx.active = true;
+        worker.tx.attemptStart = events_.curTick();
+        worker.accessIndex = 0;
+        worker.stallRetries = 0;
+        worker.reportedEnemies.clear();
+        runningTx_.insert(worker.tx.dTxId);
+        cm_->onTxStart(info);
+        worker.phase = Phase::TxAccess;
+        if (decision.cost.sched + decision.cost.kernel == 0)
+            return true;
+        advanceMulti(worker, cost_charges);
+        return false;
+      }
+      case cm::BeginAction::StallOn: {
+        trace(worker, "suspend-stall",
+              "on=" + std::to_string(decision.waitOn));
+        worker.stallOn = decision.waitOn;
+        worker.stallStart = events_.curTick();
+        worker.phase = Phase::BeginStall;
+        advanceMulti(worker, cost_charges);
+        return false;
+      }
+      case cm::BeginAction::YieldOn: {
+        trace(worker, "suspend-yield",
+              "on=" + std::to_string(decision.waitOn));
+        worker.phase = Phase::YieldNow;
+        if (decision.cost.sched + decision.cost.kernel == 0)
+            return true;
+        advanceMulti(worker, cost_charges);
+        return false;
+      }
+      case cm::BeginAction::Block: {
+        trace(worker, "block");
+        worker.phase = Phase::BlockNow;
+        if (decision.cost.sched + decision.cost.kernel == 0)
+            return true;
+        advanceMulti(worker, cost_charges);
+        return false;
+      }
+    }
+    sim_panic("unhandled BeginAction");
+}
+
+bool
+Simulation::doBeginStall(Worker &worker)
+{
+    if (!isTxRunning(worker.stallOn)) {
+        worker.phase = Phase::TxBegin;
+        return true;
+    }
+    if (events_.curTick() - worker.stallStart
+        >= config_.beginStallTimeout) {
+        stallTimeouts_.inc();
+        worker.phase = Phase::TxBegin;
+        return true;
+    }
+    if (sched_->shouldPreempt(worker.tid)) {
+        sched_->preemptCurrent(worker.tid);
+        return false;
+    }
+    advance(worker, config_.beginStallPollInterval, Bucket::Sched);
+    return false;
+}
+
+bool
+Simulation::doTxAccess(Worker &worker)
+{
+    if (static_cast<std::size_t>(worker.accessIndex)
+        >= worker.desc.accesses.size()) {
+        worker.phase = Phase::Commit;
+        return true;
+    }
+    const workloads::TxAccess &access =
+        worker.desc.accesses[static_cast<std::size_t>(
+            worker.accessIndex)];
+    const mem::Addr line = mem::lineNumber(access.addr);
+
+    htm::AccessResult result = detector_->access(
+        worker.tx, line, access.write, worker.stallRetries,
+        worker.descriptorAborts);
+
+    // Extra charges from CM conflict notification, folded into the
+    // next advance so bucket totals match consumed CPU time.
+    std::vector<Charge> notify_charges;
+    if (result.resolution != htm::Resolution::Proceed) {
+        // Reactive managers may arbitrate the conflict themselves
+        // (Timestamp, Polka); the substrate's verdict stands unless
+        // every holder's arbitration agrees on an override, with the
+        // most requester-hostile verdict winning.
+        bool cm_arbitrated = true;
+        bool any_requester_abort = false;
+        bool any_stall = false;
+        for (const htm::TxState *holder : result.conflicts) {
+            cm::ArbitrationContext context;
+            context.requester = infoFor(worker);
+            context.requesterAccesses = worker.tx.accessesDone;
+            context.stallRetries = worker.stallRetries;
+            context.priorAborts = worker.descriptorAborts;
+            context.holder = infoFor(*holder);
+            context.holderAccesses = holder->accessesDone;
+            context.holderAgeDelta =
+                static_cast<std::int64_t>(holder->timestamp)
+                - static_cast<std::int64_t>(worker.tx.timestamp);
+            switch (cm_->arbitrate(context)) {
+              case cm::ConflictArbitration::UseSubstrate:
+                cm_arbitrated = false;
+                break;
+              case cm::ConflictArbitration::StallRequester:
+                any_stall = true;
+                break;
+              case cm::ConflictArbitration::AbortRequester:
+                any_requester_abort = true;
+                break;
+              case cm::ConflictArbitration::AbortHolders:
+                break;
+            }
+        }
+        if (cm_arbitrated) {
+            if (any_requester_abort) {
+                result.resolution = htm::Resolution::AbortRequester;
+            } else if (any_stall) {
+                result.resolution = htm::Resolution::StallRequester;
+            } else {
+                result.resolution = htm::Resolution::AbortHolders;
+            }
+        }
+        conflicts_.inc();
+        for (const htm::TxState *holder : result.conflicts) {
+            const int a = ids_->staticOf(worker.tx.dTxId);
+            const int b = ids_->staticOf(holder->dTxId);
+            conflictGraph_.insert({std::min(a, b), std::max(a, b)});
+        }
+        // Tell the CM about the conflict once per (attempt, enemy)
+        // pair -- the granularity of the paper's txConflict() -- not
+        // on every NACKed access or stall retry.
+        for (const htm::TxState *holder : result.conflicts) {
+            if (!worker.reportedEnemies.insert(holder->dTxId).second)
+                continue;
+            const cm::CmCost cost = cm_->onConflictDetected(
+                infoFor(worker), infoFor(*holder));
+            notify_charges.push_back({cost.sched, Bucket::Sched});
+            notify_charges.push_back({cost.kernel, Bucket::Kernel});
+        }
+    }
+
+    switch (result.resolution) {
+      case htm::Resolution::Proceed: {
+        worker.stallRetries = 0;
+        sim::Cycles latency =
+            mem_->access(worker.tx.cpu, access.addr, access.write,
+                         events_.curTick())
+            + worker.desc.workPerAccess;
+        // Eager versioning: first store to a line saves the old
+        // value to the undo log.
+        if (access.write)
+            latency += worker.undoLog.append(line);
+        worker.tx.workDone += latency;
+        ++worker.tx.accessesDone;
+        ++worker.accessIndex;
+        advance(worker, latency, Bucket::Attempt);
+        return false;
+      }
+      case htm::Resolution::StallRequester: {
+        ++worker.stallRetries;
+        notify_charges.push_back(
+            {config_.nackRetryInterval, Bucket::Attempt});
+        advanceMulti(worker, notify_charges);
+        return false;
+      }
+      case htm::Resolution::AbortRequester: {
+        sim_assert(!result.conflicts.empty());
+        abortTx(worker, infoFor(*result.conflicts.front()));
+        return false;
+      }
+      case htm::Resolution::AbortHolders: {
+        // A holder that already reached its commit point cannot be
+        // aborted; back off and retry instead.
+        const bool any_committing = std::any_of(
+            result.conflicts.begin(), result.conflicts.end(),
+            [this](const htm::TxState *holder) {
+                return workers_[static_cast<std::size_t>(
+                                    holder->thread)]
+                    .committing;
+            });
+        notify_charges.push_back(
+            {config_.nackRetryInterval, Bucket::Attempt});
+        if (any_committing) {
+            ++worker.stallRetries;
+            advanceMulti(worker, notify_charges);
+            return false;
+        }
+        const cm::TxInfo enemy = infoFor(worker);
+        for (htm::TxState *holder : result.conflicts) {
+            abortTx(workers_[static_cast<std::size_t>(holder->thread)],
+                    enemy);
+        }
+        worker.stallRetries = 0;
+        advanceMulti(worker, notify_charges);
+        return false;
+      }
+    }
+    sim_panic("unhandled Resolution");
+}
+
+void
+Simulation::abortTx(Worker &worker, const cm::TxInfo &enemy)
+{
+    sim_assert(worker.tx.active);
+    sim_assert(!worker.committing);
+
+    // A remotely aborted victim has an in-flight continuation;
+    // replace it with the abort sequence.
+    if (worker.pendingEvent != sim::kNoEvent) {
+        events_.deschedule(worker.pendingEvent);
+        worker.pendingEvent = sim::kNoEvent;
+    }
+
+    detector_->removeTx(worker.tx);
+    runningTx_.erase(worker.tx.dTxId);
+    worker.tx.active = false;
+
+    aborts_.inc();
+    trace(worker, "abort",
+          "enemy=" + std::to_string(enemy.dTx) + " wasted="
+              + std::to_string(worker.attemptCycles));
+    {
+        const int a = ids_->staticOf(worker.tx.dTxId);
+        const int b = enemy.dTx != htm::kNoTx ? enemy.sTx : a;
+        ++abortPairs_[{std::min(a, b), std::max(a, b)}];
+    }
+    ++worker.descriptorAborts;
+    worker.buckets.aborted += worker.attemptCycles;
+    worker.attemptCycles = 0;
+
+    // Walk the undo log backwards in software (LogTM abort).
+    const sim::Cycles rollback = worker.undoLog.abort();
+
+    const cm::AbortResponse resp =
+        cm_->onTxAbort(infoFor(worker), enemy);
+
+    worker.tx.resetAttempt();
+    worker.accessIndex = 0;
+    worker.stallRetries = 0;
+    worker.phase = Phase::TxBegin;
+    advanceMulti(worker, {{rollback + resp.backoff, Bucket::Abort},
+                          {resp.cost.sched, Bucket::Sched},
+                          {resp.cost.kernel, Bucket::Kernel}});
+}
+
+bool
+Simulation::doCommit(Worker &worker)
+{
+    // Past this point the transaction is irrevocable.
+    worker.committing = true;
+    worker.phase = Phase::CommitDone;
+    advance(worker,
+            config_.commitLatency + worker.undoLog.commit(),
+            Bucket::Attempt);
+    return false;
+}
+
+bool
+Simulation::doCommitDone(Worker &worker)
+{
+    // Union of read and write sets, as line numbers.
+    std::vector<mem::Addr> rw_lines;
+    rw_lines.reserve(worker.tx.readSet.size()
+                     + worker.tx.writeSet.size());
+    for (mem::Addr line : worker.tx.readSet)
+        rw_lines.push_back(line);
+    for (mem::Addr line : worker.tx.writeSet) {
+        if (!worker.tx.readSet.count(line))
+            rw_lines.push_back(line);
+    }
+
+    detector_->removeTx(worker.tx);
+    runningTx_.erase(worker.tx.dTxId);
+    worker.tx.active = false;
+    worker.committing = false;
+
+    const cm::CmCost cost = cm_->onTxCommit(infoFor(worker), rw_lines);
+
+    commits_.inc();
+    trace(worker, "commit",
+          "lines=" + std::to_string(rw_lines.size()));
+    worker.buckets.tx += worker.attemptCycles;
+    worker.attemptCycles = 0;
+    recordSimilarity(worker, rw_lines);
+
+    ++worker.done;
+    worker.tx.resetAttempt();
+    worker.phase = Phase::StartDescriptor;
+    if (cost.sched + cost.kernel == 0)
+        return true;
+    advanceMulti(worker, {{cost.sched, Bucket::Sched},
+                          {cost.kernel, Bucket::Kernel}});
+    return false;
+}
+
+void
+Simulation::recordSimilarity(Worker &worker,
+                             const std::vector<mem::Addr> &rw_lines)
+{
+    SimTrack &track = simTrack_[static_cast<std::size_t>(
+        ids_->denseIndex(worker.tx.dTxId))];
+    const auto size = static_cast<double>(rw_lines.size());
+    track.avgSize = track.avgSize == 0.0
+                        ? size
+                        : 0.5 * (track.avgSize + size);
+    if (!track.lastSet.empty() && track.avgSize > 0.0) {
+        std::size_t inter = 0;
+        for (mem::Addr line : rw_lines)
+            inter += track.lastSet.count(line);
+        const double sim = std::clamp(
+            static_cast<double>(inter) / track.avgSize, 0.0, 1.0);
+        siteSim_[static_cast<std::size_t>(
+                     ids_->staticOf(worker.tx.dTxId))]
+            .sample(sim);
+    }
+    track.lastSet.clear();
+    track.lastSet.insert(rw_lines.begin(), rw_lines.end());
+}
+
+void
+Simulation::dumpStats(std::ostream &os) const
+{
+    // Memory hierarchy.
+    {
+        sim::Counter l1_hits, l1_misses;
+        for (int cpu = 0; cpu < config_.numCpus; ++cpu) {
+            l1_hits.inc(mem_->l1(cpu).hits().value());
+            l1_misses.inc(mem_->l1(cpu).misses().value());
+        }
+        sim::StatGroup group("mem");
+        group.addCounter("l1.hits", &l1_hits);
+        group.addCounter("l1.misses", &l1_misses);
+        group.addCounter("l2.hits", &mem_->l2().hits());
+        group.addCounter("l2.misses", &mem_->l2().misses());
+        group.addCounter("bus.requests", &mem_->bus().requests());
+        group.addCounter("bus.queuedCycles",
+                         &mem_->bus().queuedCycles());
+        group.dump(os);
+    }
+    // HTM substrate.
+    {
+        sim::Counter log_appends, log_restored;
+        sim::Counter log_high_water;
+        for (const Worker &worker : workers_) {
+            log_appends.inc(worker.undoLog.appends().value());
+            log_restored.inc(
+                worker.undoLog.restoredEntries().value());
+            log_high_water.inc(worker.undoLog.highWaterMark());
+        }
+        sim::StatGroup group("htm");
+        group.addCounter("conflictsDetected",
+                         &detector_->conflictsDetected());
+        group.addCounter("undoLog.appends", &log_appends);
+        group.addCounter("undoLog.restoredEntries", &log_restored);
+        group.addCounter("undoLog.highWaterSum", &log_high_water);
+        group.addCounter("commits", &commits_);
+        group.addCounter("aborts", &aborts_);
+        group.dump(os);
+    }
+    // Predictor hardware (meaningful for the HW variants).
+    {
+        sim::Counter cache_hits, cache_misses, refetches;
+        for (int cpu = 0; cpu < config_.numCpus; ++cpu) {
+            cache_hits.inc(
+                predictors_->confCache(cpu).hits().value());
+            cache_misses.inc(
+                predictors_->confCache(cpu).misses().value());
+            refetches.inc(
+                predictors_->confCache(cpu).refetches().value());
+        }
+        sim::StatGroup group("predictor");
+        group.addCounter("predictions", &predictors_->predictions());
+        group.addCounter("conflictsPredicted",
+                         &predictors_->conflictsPredicted());
+        group.addCounter("confCache.hits", &cache_hits);
+        group.addCounter("confCache.misses", &cache_misses);
+        group.addCounter("confCache.refetches", &refetches);
+        group.dump(os);
+    }
+    // Contention manager.
+    if (auto *base =
+            dynamic_cast<cm::ContentionManagerBase *>(cm_.get())) {
+        sim::StatGroup group("cm");
+        group.addCounter("commits", &base->commits());
+        group.addCounter("aborts", &base->aborts());
+        group.addCounter("serializations", &base->serializations());
+        group.dump(os);
+    }
+    // OS scheduler.
+    {
+        sim::Counter yields, preemptions, blocks, kernel;
+        for (int t = 0; t < config_.numThreads(); ++t) {
+            yields.inc(sched_->thread(t).yields);
+            preemptions.inc(sched_->thread(t).preemptions);
+            blocks.inc(sched_->thread(t).blocks);
+            kernel.inc(sched_->thread(t).kernelCycles);
+        }
+        sim::StatGroup group("os");
+        group.addCounter("yields", &yields);
+        group.addCounter("preemptions", &preemptions);
+        group.addCounter("blocks", &blocks);
+        group.addCounter("kernelCycles", &kernel);
+        group.dump(os);
+    }
+}
+
+SimResults
+Simulation::run()
+{
+    sim_assert(!ran_);
+    ran_ = true;
+
+    sched_->start();
+    events_.run();
+
+    if (!sched_->allFinished()) {
+        sim_panic("simulation drained with %d/%d threads unfinished",
+                  finishedThreads_, config_.numThreads());
+    }
+
+    SimResults results;
+    results.workload = workload_->name();
+    results.cm = cm_->name();
+    results.runtime = lastFinish_;
+    results.commits = commits_.value();
+    results.aborts = aborts_.value();
+    results.conflicts = conflicts_.value();
+    results.stallTimeouts = stallTimeouts_.value();
+    const std::uint64_t attempts = results.commits + results.aborts;
+    results.contentionRate =
+        attempts == 0 ? 0.0
+                      : static_cast<double>(results.aborts)
+                            / static_cast<double>(attempts);
+
+    for (const Worker &worker : workers_) {
+        results.breakdown.nonTx += worker.buckets.nonTx;
+        results.breakdown.kernel += worker.buckets.kernel;
+        results.breakdown.tx += worker.buckets.tx;
+        results.breakdown.aborted += worker.buckets.aborted;
+        results.breakdown.sched += worker.buckets.sched;
+    }
+    for (int t = 0; t < config_.numThreads(); ++t)
+        results.breakdown.kernel += sched_->thread(t).kernelCycles;
+
+    const sim::Cycles busy =
+        results.breakdown.nonTx + results.breakdown.kernel
+        + results.breakdown.tx + results.breakdown.aborted
+        + results.breakdown.sched;
+    const sim::Cycles capacity =
+        static_cast<sim::Cycles>(config_.numCpus) * results.runtime;
+    results.breakdown.idle = capacity > busy ? capacity - busy : 0;
+
+    if (auto *base =
+            dynamic_cast<cm::ContentionManagerBase *>(cm_.get())) {
+        results.serializations = base->serializations().value();
+    }
+
+    for (const sim::Accumulator &acc : siteSim_)
+        results.similarityPerSite.push_back(acc.mean());
+    results.conflictGraph = conflictGraph_;
+    results.abortPairs = abortPairs_;
+    return results;
+}
+
+} // namespace runner

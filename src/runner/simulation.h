@@ -1,0 +1,181 @@
+/**
+ * @file
+ * The simulation engine: executes a workload on the modeled machine
+ * under a contention manager and reports SimResults.
+ *
+ * Execution model
+ * ---------------
+ * Each software thread is a state machine driven by the event queue.
+ * While a thread runs on its CPU it advances through phases:
+ *
+ *   StartDescriptor -> NonTxWork -> TxBegin -> (BeginStall | yield |
+ *   block)* -> TxAccess... -> Commit -> CommitDone -> StartDescriptor
+ *
+ * with aborts rewinding to TxBegin after rollback + backoff. Every
+ * cycle a thread consumes is charged to one accounting bucket
+ * (Fig. 5 categories); in-transaction cycles accumulate per attempt
+ * and land in "tx" on commit or "aborted" on abort.
+ *
+ * Threads never leave their CPU mid-transaction (stalls spin); they
+ * yield/block/preempt only at begin-time and non-transactional safe
+ * points, which keeps conflict resolution's progress guarantees
+ * intact (the oldest transaction always wins and is always on-CPU).
+ */
+
+#ifndef BFGTS_RUNNER_SIMULATION_H
+#define BFGTS_RUNNER_SIMULATION_H
+
+#include <memory>
+#include <ostream>
+#include <unordered_set>
+#include <vector>
+
+#include "htm/version_log.h"
+#include "runner/config.h"
+#include "runner/results.h"
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "sim/stats.h"
+
+namespace runner {
+
+/** One full simulation run. Build, run() once, read the results. */
+class Simulation
+{
+  public:
+    explicit Simulation(const SimConfig &config);
+    ~Simulation();
+
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
+
+    /** Execute to completion. Call at most once. */
+    SimResults run();
+
+    /**
+     * Dump every component's raw statistics (caches, bus, conflict
+     * detector, predictors, contention manager, undo logs) in the
+     * gem5-style "group.stat value" format. Valid after run().
+     */
+    void dumpStats(std::ostream &os) const;
+
+    /** The contention manager under test (for tests). */
+    cm::ContentionManager &manager() { return *cm_; }
+
+    /** The workload driving the run (for tests). */
+    workloads::Workload &workload() { return *workload_; }
+
+  private:
+    enum class Phase {
+        StartDescriptor,
+        NonTxWork,
+        TxBegin,
+        BeginStall,
+        YieldNow,
+        BlockNow,
+        TxAccess,
+        Commit,
+        CommitDone,
+    };
+
+    enum class Bucket { NonTx, Kernel, Sched, Abort, Attempt };
+
+    struct Worker {
+        sim::ThreadId tid = sim::kNoThread;
+        sim::Rng rng{0};
+        Phase phase = Phase::StartDescriptor;
+        int done = 0;
+        workloads::TxDescriptor desc;
+        /** Aborts suffered by the current descriptor (starvation). */
+        int descriptorAborts = 0;
+        sim::Cycles nonTxRemaining = 0;
+        htm::TxState tx;
+        htm::VersionLog undoLog;
+        int accessIndex = 0;
+        int stallRetries = 0;
+        sim::Tick stallStart = 0;
+        htm::DTxId stallOn = htm::kNoTx;
+        bool committing = false;
+        sim::EventId pendingEvent = sim::kNoEvent;
+        sim::Cycles attemptCycles = 0;
+        /** Enemies already reported to the CM in this attempt. */
+        std::unordered_set<htm::DTxId> reportedEnemies;
+        Breakdown buckets;
+    };
+
+    /** A (cycles, bucket) charge for multi-bucket advances. */
+    struct Charge {
+        sim::Cycles cycles;
+        Bucket bucket;
+    };
+
+    void step(Worker &worker);
+
+    // Phase bodies; return true to continue the zero-time loop.
+    bool doStartDescriptor(Worker &worker);
+    bool doNonTxWork(Worker &worker);
+    bool doTxBegin(Worker &worker);
+    bool doBeginStall(Worker &worker);
+    bool doTxAccess(Worker &worker);
+    bool doCommit(Worker &worker);
+    bool doCommitDone(Worker &worker);
+
+    /** Charge cycles and schedule the next step after them. */
+    void advance(Worker &worker, sim::Cycles cycles, Bucket bucket);
+    void advanceMulti(Worker &worker,
+                      const std::vector<Charge> &charges);
+    void charge(Worker &worker, sim::Cycles cycles, Bucket bucket);
+
+    /** Abort @p worker's transaction; @p enemy is the other party. */
+    void abortTx(Worker &worker, const cm::TxInfo &enemy);
+
+    /** Emit one trace line if tracing is enabled (no sim cost). */
+    void trace(const Worker &worker, const char *event,
+               const std::string &detail = "");
+
+    cm::TxInfo infoFor(const Worker &worker) const;
+    cm::TxInfo infoFor(const htm::TxState &tx) const;
+
+    bool isTxRunning(htm::DTxId dtx) const;
+
+    /** Record exact-set similarity at commit (Table 1 measurement). */
+    void recordSimilarity(Worker &worker,
+                          const std::vector<mem::Addr> &rw_lines);
+
+    SimConfig config_;
+    sim::EventQueue events_;
+    std::unique_ptr<workloads::Workload> workload_;
+    std::unique_ptr<htm::TxIdSpace> ids_;
+    std::unique_ptr<mem::MemSystem> mem_;
+    std::unique_ptr<htm::ConflictDetector> detector_;
+    std::unique_ptr<os::OsScheduler> sched_;
+    std::unique_ptr<cpu::PredictorSystem> predictors_;
+    std::unique_ptr<cm::ContentionManager> cm_;
+    sim::Rng rng_;
+
+    std::vector<Worker> workers_;
+    std::unordered_set<htm::DTxId> runningTx_;
+    std::uint64_t nextTimestamp_ = 1;
+    bool ran_ = false;
+
+    // Measurements.
+    sim::Counter commits_;
+    sim::Counter aborts_;
+    sim::Counter conflicts_;
+    sim::Counter stallTimeouts_;
+    sim::Tick lastFinish_ = 0;
+    int finishedThreads_ = 0;
+
+    struct SimTrack {
+        std::unordered_set<mem::Addr> lastSet;
+        double avgSize = 0.0;
+    };
+    std::vector<SimTrack> simTrack_;          // per dTxId dense index
+    std::vector<sim::Accumulator> siteSim_;   // per sTxId
+    std::set<std::pair<int, int>> conflictGraph_;
+    std::map<std::pair<int, int>, std::uint64_t> abortPairs_;
+};
+
+} // namespace runner
+
+#endif // BFGTS_RUNNER_SIMULATION_H

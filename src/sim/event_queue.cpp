@@ -1,0 +1,60 @@
+#include "event_queue.h"
+
+#include "sim/logging.h"
+
+namespace sim {
+
+EventId
+EventQueue::schedule(Tick when, EventFn fn)
+{
+    sim_assert(when >= curTick_);
+    EventId id = nextId_++;
+    heap_.push(Entry{when, nextSeq_++, id, std::move(fn)});
+    ++live_;
+    return id;
+}
+
+bool
+EventQueue::deschedule(EventId id)
+{
+    if (id == kNoEvent)
+        return false;
+    // Lazy deletion: the entry stays in the heap but is skipped when
+    // popped. Track it so size()/empty() stay accurate.
+    auto [it, inserted] = cancelled_.insert(id);
+    (void)it;
+    if (inserted && live_ > 0)
+        --live_;
+    return inserted;
+}
+
+std::uint64_t
+EventQueue::run(Tick max_tick, std::uint64_t max_events)
+{
+    std::uint64_t executed = 0;
+    while (!heap_.empty()) {
+        const Entry &top = heap_.top();
+        if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
+            cancelled_.erase(it);
+            heap_.pop();
+            continue;
+        }
+        if (top.when > max_tick)
+            break;
+        // Move the callback out before popping so the entry can be
+        // safely destroyed even if the callback schedules new events.
+        Entry entry = std::move(const_cast<Entry &>(top));
+        heap_.pop();
+        --live_;
+        curTick_ = entry.when;
+        entry.fn();
+        if (++executed > max_events) {
+            sim_panic("event queue executed more than %llu events; "
+                      "likely a livelocked simulation",
+                      static_cast<unsigned long long>(max_events));
+        }
+    }
+    return executed;
+}
+
+} // namespace sim

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Deterministic discrete-event simulation core.
+ *
+ * The EventQueue orders events by (tick, insertion sequence): two events
+ * scheduled for the same tick fire in the order they were scheduled.
+ * This makes the whole simulation reproducible regardless of heap
+ * internals or container iteration order.
+ */
+
+#ifndef BFGTS_SIM_EVENT_QUEUE_H
+#define BFGTS_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace sim {
+
+/** Callback type for scheduled events. */
+using EventFn = std::function<void()>;
+
+/** Handle used to cancel a scheduled event. */
+using EventId = std::uint64_t;
+
+/** Sentinel EventId meaning "no event". */
+constexpr EventId kNoEvent = 0;
+
+/**
+ * A deterministic event queue driving simulated time forward.
+ *
+ * Usage: schedule() callbacks at absolute ticks or schedule relative to
+ * now with scheduleIn(), then run() until the queue drains (or a bound
+ * is hit). Event callbacks may schedule further events.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    /** Current simulated time. */
+    Tick curTick() const { return curTick_; }
+
+    /**
+     * Schedule a callback at an absolute tick.
+     *
+     * @param when  Absolute tick; must be >= curTick().
+     * @param fn    Callback to invoke.
+     * @return Handle usable with deschedule().
+     */
+    EventId schedule(Tick when, EventFn fn);
+
+    /** Schedule a callback @p delay cycles from now. */
+    EventId
+    scheduleIn(Cycles delay, EventFn fn)
+    {
+        return schedule(curTick_ + delay, std::move(fn));
+    }
+
+    /**
+     * Cancel a previously scheduled event.
+     *
+     * Cancelling an already-fired or already-cancelled event is a no-op.
+     * @return true if the event was pending and is now cancelled.
+     */
+    bool deschedule(EventId id);
+
+    /**
+     * Run events until the queue is empty or limits are reached.
+     *
+     * @param max_tick    Stop before executing events after this tick.
+     * @param max_events  Safety bound on number of events executed;
+     *                    exceeding it is a panic (runaway simulation).
+     * @return Number of events executed.
+     */
+    std::uint64_t run(Tick max_tick = kMaxTick,
+                      std::uint64_t max_events = kDefaultMaxEvents);
+
+    /** True if no events are pending. */
+    bool empty() const { return live_ == 0; }
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t size() const { return live_; }
+
+    /** Safety bound: panic if a run exceeds this many events. */
+    static constexpr std::uint64_t kDefaultMaxEvents = 50'000'000'000ULL;
+
+  private:
+    struct Entry {
+        Tick when;
+        std::uint64_t seq;
+        EventId id;
+        EventFn fn;
+    };
+
+    struct Later {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    Tick curTick_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    EventId nextId_ = 1;
+    std::size_t live_ = 0;
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::unordered_set<EventId> cancelled_;
+};
+
+} // namespace sim
+
+#endif // BFGTS_SIM_EVENT_QUEUE_H

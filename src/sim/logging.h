@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 convention.
+ *
+ * - panic():  an internal simulator invariant was violated (a bug in the
+ *             simulator itself). Aborts.
+ * - fatal():  the simulation cannot continue because of a user error
+ *             (bad configuration, invalid arguments). Exits with code 1.
+ * - warn():   something may be modeled imprecisely; simulation continues.
+ * - inform(): purely informational status output.
+ */
+
+#ifndef BFGTS_SIM_LOGGING_H
+#define BFGTS_SIM_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace sim {
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Minimal printf-style formatter returning a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+/** Abort on an internal simulator bug. */
+#define sim_panic(...)                                                    \
+    ::sim::detail::panicImpl(__FILE__, __LINE__,                          \
+                             ::sim::detail::format(__VA_ARGS__))
+
+/** Exit on an unrecoverable user/configuration error. */
+#define sim_fatal(...)                                                    \
+    ::sim::detail::fatalImpl(__FILE__, __LINE__,                          \
+                             ::sim::detail::format(__VA_ARGS__))
+
+/** Report a non-fatal modeling concern. */
+#define sim_warn(...)                                                     \
+    ::sim::detail::warnImpl(::sim::detail::format(__VA_ARGS__))
+
+/** Report simulation status. */
+#define sim_inform(...)                                                   \
+    ::sim::detail::informImpl(::sim::detail::format(__VA_ARGS__))
+
+/** Panic when a required invariant does not hold. */
+#define sim_assert(cond, ...)                                             \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            sim_panic("assertion failed: %s", #cond);                     \
+        }                                                                 \
+    } while (0)
+
+} // namespace sim
+
+#endif // BFGTS_SIM_LOGGING_H

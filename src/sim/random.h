@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * Every source of randomness in the simulator draws from an explicitly
+ * seeded Rng so that a simulation is a pure function of its
+ * configuration: identical config + seed => identical results. The
+ * generator is xoshiro256**, seeded through splitmix64, which is fast,
+ * has a 2^256-1 period, and passes BigCrush.
+ */
+
+#ifndef BFGTS_SIM_RANDOM_H
+#define BFGTS_SIM_RANDOM_H
+
+#include <cstdint>
+
+#include "sim/logging.h"
+
+namespace sim {
+
+/** splitmix64 step; used for seeding and as a cheap stateless mixer. */
+inline std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Stateless 64-bit mix of a value (finalizer of splitmix64). */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/**
+ * xoshiro256** pseudo-random generator.
+ *
+ * Cheap to copy; each simulated thread owns an independently seeded
+ * instance so event ordering can never perturb a thread's stream.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : state_)
+            word = splitmix64(sm);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        sim_assert(bound > 0);
+        // Lemire's multiply-shift rejection method (unbiased).
+        std::uint64_t x = next();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        auto low = static_cast<std::uint64_t>(m);
+        if (low < bound) {
+            std::uint64_t threshold = (0 - bound) % bound;
+            while (low < threshold) {
+                x = next();
+                m = static_cast<__uint128_t>(x) * bound;
+                low = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        sim_assert(lo <= hi);
+        return lo + static_cast<std::int64_t>(
+                        below(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with success probability p. */
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return uniform() < p;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace sim
+
+#endif // BFGTS_SIM_RANDOM_H

@@ -1,0 +1,81 @@
+#include "stats.h"
+
+#include <cstdio>
+#include <iomanip>
+
+#include "sim/logging.h"
+
+namespace sim {
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[stat_name, c] : counters_) {
+        os << name_ << '.' << stat_name << ' ' << c->value() << '\n';
+    }
+    for (const auto &[stat_name, a] : accumulators_) {
+        os << name_ << '.' << stat_name << ".count " << a->count()
+           << '\n';
+        os << name_ << '.' << stat_name << ".mean "
+           << fmtDouble(a->mean(), 4) << '\n';
+        os << name_ << '.' << stat_name << ".stddev "
+           << fmtDouble(a->stddev(), 4) << '\n';
+    }
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    sim_assert(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+        widths[i] = headers_[i].size();
+    for (const auto &row : rows_)
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            os << (i == 0 ? "" : "  ");
+            // Left-align the row label, right-align data columns.
+            if (i == 0)
+                os << std::left;
+            else
+                os << std::right;
+            os << std::setw(static_cast<int>(widths[i])) << row[i];
+        }
+        os << '\n';
+    };
+
+    print_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < widths.size(); ++i)
+        total += widths[i] + (i == 0 ? 0 : 2);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+std::string
+fmtDouble(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+fmtPercent(double ratio, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", digits, ratio * 100.0);
+    return buf;
+}
+
+} // namespace sim

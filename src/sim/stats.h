@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Lightweight statistics framework.
+ *
+ * Models a small slice of gem5's stats package: named statistics are
+ * registered into a StatGroup and can be dumped as a formatted table.
+ * Three kinds cover everything the simulator needs:
+ *  - Counter: monotonically increasing event count.
+ *  - Accumulator: running sum/min/max/mean/stddev of samples.
+ *  - Formula-style derived values are computed at dump time by callers.
+ */
+
+#ifndef BFGTS_SIM_STATS_H
+#define BFGTS_SIM_STATS_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sim {
+
+/** A named, monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    /** Increment by @p n (default 1). */
+    void inc(std::uint64_t n = 1) { value_ += n; }
+
+    /** Current value. */
+    std::uint64_t value() const { return value_; }
+
+    /** Reset to zero. */
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running sample statistics: count, sum, min, max, mean, stddev. */
+class Accumulator
+{
+  public:
+    Accumulator() = default;
+
+    /** Record one sample. */
+    void
+    sample(double x)
+    {
+        ++count_;
+        sum_ += x;
+        sumSq_ += x * x;
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Sample mean (0 if empty). */
+    double
+    mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+
+    /** Population standard deviation (0 if fewer than 2 samples). */
+    double
+    stddev() const
+    {
+        if (count_ < 2)
+            return 0.0;
+        double n = static_cast<double>(count_);
+        double var = (sumSq_ - sum_ * sum_ / n) / n;
+        return var > 0.0 ? std::sqrt(var) : 0.0;
+    }
+
+    /** Reset to empty. */
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = sumSq_ = 0.0;
+        min_ = std::numeric_limits<double>::infinity();
+        max_ = -std::numeric_limits<double>::infinity();
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * A named collection of statistics for dumping.
+ *
+ * Values are captured at registration via pointers; dump() reads the
+ * live values, so a group can be dumped repeatedly during a run.
+ */
+class StatGroup
+{
+  public:
+    /** @param name Prefix printed before every stat in this group. */
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Register a counter under @p stat_name. */
+    void
+    addCounter(const std::string &stat_name, const Counter *c)
+    {
+        counters_.push_back({stat_name, c});
+    }
+
+    /** Register an accumulator under @p stat_name. */
+    void
+    addAccumulator(const std::string &stat_name, const Accumulator *a)
+    {
+        accumulators_.push_back({stat_name, a});
+    }
+
+    /** Write all registered stats to @p os as "group.stat value". */
+    void dump(std::ostream &os) const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::vector<std::pair<std::string, const Counter *>> counters_;
+    std::vector<std::pair<std::string, const Accumulator *>>
+        accumulators_;
+};
+
+/**
+ * Fixed-width text table writer used by benches to print paper-style
+ * tables (rows = benchmarks, columns = contention managers, etc.).
+ */
+class TextTable
+{
+  public:
+    /** @param headers Column headers; first column is the row label. */
+    explicit TextTable(std::vector<std::string> headers)
+        : headers_(std::move(headers))
+    {
+    }
+
+    /** Append one row; must have the same arity as the headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table with aligned columns. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p digits decimal places. */
+std::string fmtDouble(double v, int digits = 2);
+
+/** Format a ratio as a percentage string, e.g. "73.5%". */
+std::string fmtPercent(double ratio, int digits = 1);
+
+} // namespace sim
+
+#endif // BFGTS_SIM_STATS_H

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fundamental simulation types: ticks, cycles, identifiers.
+ *
+ * The simulator models a single clock domain (all CPUs share one 2GHz
+ * clock, as in the paper's Table 2), so a Tick and a Cycle are the same
+ * unit. Both names are kept for readability: Tick is an absolute point
+ * on the simulated timeline, Cycles is a duration.
+ */
+
+#ifndef BFGTS_SIM_TYPES_H
+#define BFGTS_SIM_TYPES_H
+
+#include <cstdint>
+#include <limits>
+
+namespace sim {
+
+/** Absolute simulated time, in cycles of the global clock. */
+using Tick = std::uint64_t;
+
+/** A duration, in cycles of the global clock. */
+using Cycles = std::uint64_t;
+
+/** Sentinel for "never" / "no deadline". */
+constexpr Tick kMaxTick = std::numeric_limits<Tick>::max();
+
+/** Identifier of a simulated CPU (core). */
+using CpuId = int;
+
+/** Identifier of a simulated software thread. */
+using ThreadId = int;
+
+/** Sentinel for "no CPU". */
+constexpr CpuId kNoCpu = -1;
+
+/** Sentinel for "no thread". */
+constexpr ThreadId kNoThread = -1;
+
+} // namespace sim
+
+#endif // BFGTS_SIM_TYPES_H

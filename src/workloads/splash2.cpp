@@ -1,0 +1,110 @@
+#include "splash2.h"
+
+#include "sim/logging.h"
+
+namespace workloads {
+
+namespace {
+
+/**
+ * Barnes-Hut n-body: long force computations, tiny tree-insertion
+ * critical sections on a large octree (sparse sharing).
+ */
+SyntheticParams
+barnesParams()
+{
+    SyntheticParams params;
+    params.name = "Barnes";
+    params.txPerThread = 200;
+    params.hotGroupLines = {8192}; // the shared octree
+    SiteParams insert;
+    insert.meanAccesses = 5;
+    insert.accessJitter = 1;
+    insert.similarity = 0.3;
+    insert.workPerAccess = 15;
+    insert.nonTxWork = 9000; // the force computation
+    insert.hotGroups = {{.group = 0, .frac = 0.6,
+                         .writeFraction = 0.4}};
+    params.sites = {insert};
+    return params;
+}
+
+/**
+ * Ocean: grid relaxation with boundary-row exchange; transactions
+ * touch only the seam between neighbouring partitions.
+ */
+SyntheticParams
+oceanParams()
+{
+    SyntheticParams params;
+    params.name = "Ocean";
+    params.txPerThread = 200;
+    params.hotGroupLines = {16384}; // boundary rows
+    SiteParams boundary;
+    boundary.meanAccesses = 4;
+    boundary.accessJitter = 1;
+    boundary.similarity = 0.8; // same seam every sweep
+    boundary.workPerAccess = 10;
+    boundary.nonTxWork = 12000; // interior relaxation
+    boundary.hotGroups = {{.group = 0, .frac = 0.5,
+                           .writeFraction = 0.5}};
+    params.sites = {boundary};
+    return params;
+}
+
+/**
+ * Raytrace: a global ray-bundle counter plus per-thread hit buffers;
+ * the counter is the only (tiny, occasional) shared write.
+ */
+SyntheticParams
+raytraceParams()
+{
+    SyntheticParams params;
+    params.name = "Raytrace";
+    params.txPerThread = 300;
+    params.hotGroupLines = {1024};
+    SiteParams counter;
+    counter.weight = 1.0;
+    counter.meanAccesses = 3;
+    counter.accessJitter = 1;
+    counter.similarity = 0.6;
+    counter.workPerAccess = 10;
+    counter.nonTxWork = 6000; // tracing rays
+    counter.hotGroups = {{.group = 0, .frac = 0.4,
+                          .writeFraction = 0.6}};
+    SiteParams shade;
+    shade.weight = 1.0;
+    shade.meanAccesses = 6;
+    shade.accessJitter = 2;
+    shade.similarity = 0.2;
+    shade.workPerAccess = 20;
+    shade.nonTxWork = 6000;
+    params.sites = {counter, shade};
+    return params;
+}
+
+} // namespace
+
+std::vector<std::string>
+splash2BenchmarkNames()
+{
+    return {"Barnes", "Ocean", "Raytrace"};
+}
+
+std::unique_ptr<SyntheticWorkload>
+makeSplash2Workload(const std::string &name, int num_threads)
+{
+    SyntheticParams params;
+    if (name == "Barnes") {
+        params = barnesParams();
+    } else if (name == "Ocean") {
+        params = oceanParams();
+    } else if (name == "Raytrace") {
+        params = raytraceParams();
+    } else {
+        sim_fatal("unknown SPLASH2 benchmark '%s'", name.c_str());
+    }
+    return std::make_unique<SyntheticWorkload>(params, num_threads);
+}
+
+} // namespace workloads

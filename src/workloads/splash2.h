@@ -1,0 +1,38 @@
+/**
+ * @file
+ * SPLASH2-like low-contention workloads.
+ *
+ * The paper motivates proactive scheduling by contrasting STAMP with
+ * transactional SPLASH2 (Section 1): scientific codes use "small,
+ * infrequent transactions" that expose almost no contention, which is
+ * why early reactive managers looked adequate. These three generators
+ * model that regime -- tiny critical sections, long compute phases,
+ * large sparsely-shared data -- so the suite can demonstrate the
+ * paper's premise: on SPLASH2-like codes every contention manager is
+ * equivalent and the cheapest one (Backoff) wins on overhead.
+ */
+
+#ifndef BFGTS_WORKLOADS_SPLASH2_H
+#define BFGTS_WORKLOADS_SPLASH2_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/generator.h"
+
+namespace workloads {
+
+/** The three SPLASH2-like benchmark names. */
+std::vector<std::string> splash2BenchmarkNames();
+
+/**
+ * Build a SPLASH2-like benchmark by name ("Barnes", "Ocean",
+ * "Raytrace"). Fatal on unknown names.
+ */
+std::unique_ptr<SyntheticWorkload>
+makeSplash2Workload(const std::string &name, int num_threads);
+
+} // namespace workloads
+
+#endif // BFGTS_WORKLOADS_SPLASH2_H

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Synthetic STAMP benchmark suite (paper Tables 1, 3, 4).
+ *
+ * The paper evaluates on seven STAMP benchmarks (Bayes is excluded
+ * there for non-determinism, and here too). The real programs and
+ * inputs aren't available in this environment, so each benchmark is
+ * a SyntheticWorkload calibrated to reproduce what the schedulers
+ * actually observe:
+ *
+ *  - the conflict graph of Table 1: which static-transaction pairs
+ *    ever conflict (including self-conflicts across threads, and
+ *    asymmetric rows produced by read-only sharing);
+ *  - the per-site similarity of Table 1;
+ *  - the transaction footprint character each benchmark is known
+ *    for (tiny for Ssca2/Kmeans/Intruder, moderate for
+ *    Genome/Vacation, very large for Labyrinth -- grid copy moved
+ *    outside the transaction, as the paper does);
+ *  - the baseline contention ordering of Table 4's Backoff column
+ *    (Delaunay/Intruder ~70%, Genome ~60%, Kmeans/Labyrinth ~20%,
+ *    Vacation ~10%, Ssca2 ~0%).
+ *
+ * stampTargets() exposes the calibration targets so tests can verify
+ * the generators actually deliver them.
+ */
+
+#ifndef BFGTS_WORKLOADS_STAMP_H
+#define BFGTS_WORKLOADS_STAMP_H
+
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "workloads/generator.h"
+
+namespace workloads {
+
+/** Calibration targets of one benchmark (from the paper's tables). */
+struct StampTargets {
+    /** Table 1 similarity per static transaction site. */
+    std::vector<double> similarity;
+    /** Table 1 conflict graph as ordered (min, max) site pairs. */
+    std::set<std::pair<int, int>> conflictEdges;
+    /** Table 4 contention under the Backoff manager (fraction). */
+    double backoffContention = 0.0;
+};
+
+/** The seven benchmark names, in the paper's order. */
+std::vector<std::string> stampBenchmarkNames();
+
+/**
+ * Build a calibrated benchmark by name.
+ *
+ * @param name        One of stampBenchmarkNames() (fatal otherwise).
+ * @param num_threads Threads that will run it (paper: 64).
+ */
+std::unique_ptr<SyntheticWorkload>
+makeStampWorkload(const std::string &name, int num_threads);
+
+/** Calibration targets for @p name (fatal on unknown names). */
+StampTargets stampTargets(const std::string &name);
+
+} // namespace workloads
+
+#endif // BFGTS_WORKLOADS_STAMP_H

@@ -1,0 +1,214 @@
+#include "structures.h"
+
+#include <cmath>
+
+#include "sim/logging.h"
+
+namespace workloads {
+
+namespace {
+
+// Address-space layout for the shadow structures; far above the
+// synthetic generators' regions so the suites can never collide.
+constexpr mem::Addr kStructureBase = 0x2000'0000'0000ULL;
+
+/** Line address of control/table entry @p index of region @p region. */
+mem::Addr
+lineAddr(int region, std::uint64_t index)
+{
+    return kStructureBase
+         + (static_cast<mem::Addr>(region) << 28)
+         + index * mem::kLineBytes;
+}
+
+// Region ids within the structure address space.
+constexpr int kBucketRegion = 0;
+constexpr int kNodeRegion = 1;
+constexpr int kControlRegion = 2;
+constexpr int kSlotRegion = 3;
+constexpr int kCounterRegion = 4;
+
+} // namespace
+
+// ---- HashMapWorkload ----------------------------------------------------
+
+HashMapWorkload::HashMapWorkload(const Config &config, int num_threads)
+    : config_(config), chains_(config.buckets)
+{
+    sim_assert(config.buckets >= 1);
+    sim_assert(config.keySpace >= config.buckets);
+    sim_assert(config.insertFrac + config.lookupFrac <= 1.0 + 1e-9);
+    (void)num_threads;
+}
+
+TxDescriptor
+HashMapWorkload::next(sim::ThreadId thread, sim::Rng &rng)
+{
+    (void)thread;
+    TxDescriptor desc;
+    desc.workPerAccess = config_.workPerAccess;
+    desc.nonTxWork = static_cast<sim::Cycles>(
+        rng.range(static_cast<std::int64_t>(config_.nonTxWork / 2),
+                  static_cast<std::int64_t>(config_.nonTxWork * 3
+                                            / 2)));
+
+    const std::uint64_t key = rng.below(config_.keySpace);
+    const std::uint64_t bucket =
+        (key * 0x9e3779b97f4a7c15ULL >> 32) % config_.buckets;
+    std::vector<std::uint32_t> &chain =
+        chains_[static_cast<std::size_t>(bucket)];
+
+    const double op = rng.uniform();
+    // Read the bucket head.
+    desc.accesses.push_back({lineAddr(kBucketRegion, bucket), false});
+    // Walk the chain (read every node line).
+    for (std::uint32_t node : chain)
+        desc.accesses.push_back({lineAddr(kNodeRegion, node), false});
+
+    if (op < config_.insertFrac) {
+        desc.sTx = 0; // insert
+        const std::uint32_t node = nextNode_++;
+        // Write the new node and relink the bucket head.
+        desc.accesses.push_back({lineAddr(kNodeRegion, node), true});
+        desc.accesses.push_back({lineAddr(kBucketRegion, bucket),
+                                 true});
+        // Update the shared element count (the global hot line).
+        desc.accesses.push_back({lineAddr(kControlRegion, 0), true});
+        chain.push_back(node);
+        ++elements_;
+        // Keep chains bounded so walks stay realistic.
+        if (chain.size() > 6) {
+            chain.erase(chain.begin());
+            --elements_;
+        }
+    } else if (op < config_.insertFrac + config_.lookupFrac) {
+        desc.sTx = 1; // lookup: reads only (already emitted)
+    } else {
+        desc.sTx = 2; // erase
+        if (!chain.empty()) {
+            const std::size_t victim = rng.below(chain.size());
+            // Unlink: write the predecessor (or head) and count.
+            if (victim == 0) {
+                desc.accesses.push_back(
+                    {lineAddr(kBucketRegion, bucket), true});
+            } else {
+                desc.accesses.push_back(
+                    {lineAddr(kNodeRegion, chain[victim - 1]), true});
+            }
+            desc.accesses.push_back({lineAddr(kControlRegion, 0),
+                                     true});
+            chain.erase(chain.begin()
+                        + static_cast<std::ptrdiff_t>(victim));
+            --elements_;
+        }
+    }
+    return desc;
+}
+
+// ---- FifoQueueWorkload ----------------------------------------------------
+
+FifoQueueWorkload::FifoQueueWorkload(const Config &config,
+                                     int num_threads)
+    : config_(config)
+{
+    sim_assert(config.capacity >= 2);
+    (void)num_threads;
+}
+
+TxDescriptor
+FifoQueueWorkload::next(sim::ThreadId thread, sim::Rng &rng)
+{
+    (void)thread;
+    TxDescriptor desc;
+    desc.workPerAccess = config_.workPerAccess;
+    desc.nonTxWork = static_cast<sim::Cycles>(
+        rng.range(static_cast<std::int64_t>(config_.nonTxWork / 2),
+                  static_cast<std::int64_t>(config_.nonTxWork * 3
+                                            / 2)));
+
+    // Keep the shadow ring in a workable regime: enqueue when empty,
+    // dequeue when full, else flip a coin.
+    bool enqueue;
+    if (tail_ == head_)
+        enqueue = true;
+    else if (tail_ - head_ >= config_.capacity)
+        enqueue = false;
+    else
+        enqueue = rng.chance(0.5);
+
+    // Every operation reads both control lines (empty/full check)...
+    desc.accesses.push_back({lineAddr(kControlRegion, 1), false});
+    desc.accesses.push_back({lineAddr(kControlRegion, 2), false});
+    if (enqueue) {
+        desc.sTx = 0;
+        const std::uint64_t slot = tail_ % config_.capacity;
+        // ...writes the data slot, then publishes the new tail.
+        desc.accesses.push_back({lineAddr(kSlotRegion, slot), true});
+        desc.accesses.push_back({lineAddr(kControlRegion, 2), true});
+        ++tail_;
+    } else {
+        desc.sTx = 1;
+        const std::uint64_t slot = head_ % config_.capacity;
+        desc.accesses.push_back({lineAddr(kSlotRegion, slot), false});
+        desc.accesses.push_back({lineAddr(kControlRegion, 1), true});
+        ++head_;
+    }
+    return desc;
+}
+
+// ---- CounterArrayWorkload --------------------------------------------------
+
+CounterArrayWorkload::CounterArrayWorkload(const Config &config,
+                                           int num_threads)
+    : config_(config)
+{
+    sim_assert(config.counters >= 1);
+    sim_assert(config.touchesPerTx >= 1);
+    (void)num_threads;
+    // Precompute the Zipf CDF once.
+    cdf_.reserve(config.counters);
+    double total = 0.0;
+    for (std::uint64_t rank = 0; rank < config.counters; ++rank) {
+        total += 1.0
+               / std::pow(static_cast<double>(rank + 1),
+                          config.skew);
+        cdf_.push_back(total);
+    }
+    for (double &value : cdf_)
+        value /= total;
+}
+
+std::uint64_t
+CounterArrayWorkload::drawCounter(sim::Rng &rng) const
+{
+    const double roll = rng.uniform();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), roll);
+    return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+TxDescriptor
+CounterArrayWorkload::next(sim::ThreadId thread, sim::Rng &rng)
+{
+    (void)thread;
+    TxDescriptor desc;
+    desc.sTx = 0;
+    desc.workPerAccess = config_.workPerAccess;
+    desc.nonTxWork = static_cast<sim::Cycles>(
+        rng.range(static_cast<std::int64_t>(config_.nonTxWork / 2),
+                  static_cast<std::int64_t>(config_.nonTxWork * 3
+                                            / 2)));
+    // Read-modify-write each touched counter: reads first, then the
+    // upgrades (read-early / write-late, as real code behaves).
+    std::vector<std::uint64_t> touched;
+    for (int i = 0; i < config_.touchesPerTx; ++i)
+        touched.push_back(drawCounter(rng));
+    for (std::uint64_t counter : touched)
+        desc.accesses.push_back({lineAddr(kCounterRegion, counter),
+                                 false});
+    for (std::uint64_t counter : touched)
+        desc.accesses.push_back({lineAddr(kCounterRegion, counter),
+                                 true});
+    return desc;
+}
+
+} // namespace workloads

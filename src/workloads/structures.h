@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Semantic data-structure workloads.
+ *
+ * Where the synthetic STAMP generators *statistically* imitate the
+ * paper's benchmarks, these workloads derive their access streams
+ * from live shadow data structures: a transaction's addresses are
+ * the bucket/node/slot locations an actual operation would touch, so
+ * conflicts, footprints and similarity emerge from the structure's
+ * real sharing pattern instead of calibrated fractions.
+ *
+ * Three structures cover the paper's motivating behaviours
+ * (Section 3.1):
+ *
+ *  - HashMapWorkload: insert/lookup/erase over a shared open-chained
+ *    hash table. Conflicts are transient bucket collisions -- the
+ *    paper's low-similarity example ("inserting to a hash table").
+ *  - FifoQueueWorkload: enqueue/dequeue on one shared ring. Every
+ *    operation touches the same head/tail lines -- the paper's
+ *    high-similarity persistent-conflict example ("enqueuing and
+ *    dequeuing from a queue").
+ *  - CounterArrayWorkload: Zipf-skewed read-modify-write over an
+ *    array of counters (a histogram/statistics kernel): a hot head
+ *    with a long parallel tail.
+ */
+
+#ifndef BFGTS_WORKLOADS_STRUCTURES_H
+#define BFGTS_WORKLOADS_STRUCTURES_H
+
+#include <memory>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace workloads {
+
+/**
+ * Shared open-chained hash table: site 0 = insert, site 1 = lookup,
+ * site 2 = erase. An operation reads the bucket head line, walks
+ * chain nodes, and (for mutations) writes the affected node plus the
+ * shared element-count line.
+ */
+class HashMapWorkload : public Workload
+{
+  public:
+    struct Config {
+        /** Number of buckets (one line each). */
+        std::uint64_t buckets = 512;
+        /** Keys drawn from [0, keySpace). */
+        std::uint64_t keySpace = 4096;
+        /** Operation mix: P(insert), P(lookup); rest = erase. */
+        double insertFrac = 0.4;
+        double lookupFrac = 0.4;
+        /** Compute cycles per touched line (hashing, compares). */
+        sim::Cycles workPerAccess = 25;
+        /** Non-transactional cycles between operations. */
+        sim::Cycles nonTxWork = 1200;
+        int txPerThread = 150;
+    };
+
+    HashMapWorkload(const Config &config, int num_threads);
+
+    std::string name() const override { return "HashMap"; }
+    int numStaticTx() const override { return 3; }
+    int txPerThread() const override { return config_.txPerThread; }
+    TxDescriptor next(sim::ThreadId thread, sim::Rng &rng) override;
+
+    /** Elements currently in the shadow table (tests). */
+    std::size_t size() const { return elements_; }
+
+  private:
+    Config config_;
+    /** Shadow chains: per bucket, the node ids currently chained. */
+    std::vector<std::vector<std::uint32_t>> chains_;
+    std::size_t elements_ = 0;
+    std::uint32_t nextNode_ = 1;
+};
+
+/**
+ * One shared bounded FIFO: site 0 = enqueue, site 1 = dequeue.
+ * Every operation reads head and tail control lines and writes one
+ * of them plus the data slot -- the queue example of Section 3.1.
+ */
+class FifoQueueWorkload : public Workload
+{
+  public:
+    struct Config {
+        /** Ring capacity in slots (one line each). */
+        std::uint64_t capacity = 256;
+        sim::Cycles workPerAccess = 15;
+        sim::Cycles nonTxWork = 800;
+        int txPerThread = 200;
+    };
+
+    FifoQueueWorkload(const Config &config, int num_threads);
+
+    std::string name() const override { return "FifoQueue"; }
+    int numStaticTx() const override { return 2; }
+    int txPerThread() const override { return config_.txPerThread; }
+    TxDescriptor next(sim::ThreadId thread, sim::Rng &rng) override;
+
+    /** Occupancy of the shadow ring (tests). */
+    std::uint64_t occupancy() const { return tail_ - head_; }
+
+  private:
+    Config config_;
+    std::uint64_t head_ = 0;
+    std::uint64_t tail_ = 0;
+};
+
+/**
+ * Zipf-skewed counter increments: a single site whose transactions
+ * read-modify-write a handful of counters, mostly from the hot head
+ * of the distribution.
+ */
+class CounterArrayWorkload : public Workload
+{
+  public:
+    struct Config {
+        /** Number of counters (one line each). */
+        std::uint64_t counters = 1024;
+        /** Zipf skew: P(rank r) ~ 1 / (r+1)^skew. */
+        double skew = 1.1;
+        /** Counters touched per transaction. */
+        int touchesPerTx = 4;
+        sim::Cycles workPerAccess = 20;
+        sim::Cycles nonTxWork = 1500;
+        int txPerThread = 200;
+    };
+
+    CounterArrayWorkload(const Config &config, int num_threads);
+
+    std::string name() const override { return "CounterArray"; }
+    int numStaticTx() const override { return 1; }
+    int txPerThread() const override { return config_.txPerThread; }
+    TxDescriptor next(sim::ThreadId thread, sim::Rng &rng) override;
+
+  private:
+    /** Draw a counter index from the (precomputed) Zipf CDF. */
+    std::uint64_t drawCounter(sim::Rng &rng) const;
+
+    Config config_;
+    std::vector<double> cdf_;
+};
+
+} // namespace workloads
+
+#endif // BFGTS_WORKLOADS_STRUCTURES_H

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Workload interface: what a benchmark looks like to the simulator.
+ *
+ * A workload produces, per thread, a sequence of transaction
+ * descriptors: which static transaction site executes, the exact
+ * memory accesses it performs, the compute work interleaved with
+ * them, and the non-transactional work preceding it. The runner
+ * executes descriptors on the simulated machine; on abort the same
+ * descriptor re-executes with identical accesses (the retried
+ * critical section touches the same data).
+ *
+ * The real STAMP binaries and inputs (paper Table 3) are not
+ * available in this environment; src/workloads/stamp.h provides
+ * synthetic generators calibrated to reproduce each benchmark's
+ * published conflict graph, per-site similarity (Table 1),
+ * transaction footprints and baseline contention (Table 4).
+ */
+
+#ifndef BFGTS_WORKLOADS_WORKLOAD_H
+#define BFGTS_WORKLOADS_WORKLOAD_H
+
+#include <string>
+#include <vector>
+
+#include "htm/tx_id.h"
+#include "mem/addr.h"
+#include "sim/random.h"
+#include "sim/types.h"
+
+namespace workloads {
+
+/** One memory access inside a transaction. */
+struct TxAccess {
+    mem::Addr addr = 0;
+    bool write = false;
+};
+
+/** One transactional section plus the non-tx work before it. */
+struct TxDescriptor {
+    /** Static transaction site executing. */
+    htm::STxId sTx = 0;
+    /** Exact accesses, in order. */
+    std::vector<TxAccess> accesses;
+    /** Compute cycles between consecutive accesses. */
+    sim::Cycles workPerAccess = 10;
+    /** Non-transactional cycles before the section begins. */
+    sim::Cycles nonTxWork = 1000;
+};
+
+/** A benchmark: a per-thread stream of transaction descriptors. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Benchmark name, e.g. "Delaunay". */
+    virtual std::string name() const = 0;
+
+    /** Number of static transaction sites in the program. */
+    virtual int numStaticTx() const = 0;
+
+    /** Transactions each thread executes in the measured phase. */
+    virtual int txPerThread() const = 0;
+
+    /**
+     * Generate the next descriptor for @p thread.
+     *
+     * Must be called in per-thread program order; the generator may
+     * keep per-thread state (e.g. the previous access set, to give
+     * sites their target similarity). Uses only @p rng for
+     * randomness so runs are deterministic per (seed, thread).
+     */
+    virtual TxDescriptor next(sim::ThreadId thread, sim::Rng &rng) = 0;
+};
+
+} // namespace workloads
+
+#endif // BFGTS_WORKLOADS_WORKLOAD_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Unit tests for address helpers and the logging formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/addr.h"
+#include "sim/logging.h"
+
+namespace {
+
+TEST(Addr, LineAlignMasksOffset)
+{
+    EXPECT_EQ(mem::lineAlign(0), 0u);
+    EXPECT_EQ(mem::lineAlign(63), 0u);
+    EXPECT_EQ(mem::lineAlign(64), 64u);
+    EXPECT_EQ(mem::lineAlign(0x12345), 0x12340u);
+}
+
+TEST(Addr, LineNumberShifts)
+{
+    EXPECT_EQ(mem::lineNumber(0), 0u);
+    EXPECT_EQ(mem::lineNumber(63), 0u);
+    EXPECT_EQ(mem::lineNumber(64), 1u);
+    EXPECT_EQ(mem::lineNumber(640), 10u);
+}
+
+TEST(Addr, LineConstantsConsistent)
+{
+    EXPECT_EQ(mem::kLineBytes, 64u);
+    EXPECT_EQ(1u << mem::kLineShift, mem::kLineBytes);
+}
+
+TEST(Logging, FormatProducesPrintfOutput)
+{
+    EXPECT_EQ(sim::detail::format("x=%d y=%s", 3, "abc"),
+              "x=3 y=abc");
+    EXPECT_EQ(sim::detail::format("plain"), "plain");
+    // Long output is not truncated.
+    std::string long_arg(500, 'a');
+    EXPECT_EQ(sim::detail::format("%s", long_arg.c_str()).size(),
+              500u);
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(sim_panic("boom %d", 42), "boom 42");
+}
+
+TEST(LoggingDeath, FatalExits)
+{
+    EXPECT_EXIT(sim_fatal("bad config"),
+                ::testing::ExitedWithCode(1), "bad config");
+}
+
+TEST(LoggingDeath, AssertMentionsCondition)
+{
+    EXPECT_DEATH(sim_assert(1 == 2), "1 == 2");
+}
+
+} // namespace

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Property tests for the paper's Eqs. 2-4: set-size estimation,
+ * intersection estimation and similarity from Bloom filters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bloom/estimate.h"
+#include "sim/random.h"
+
+namespace {
+
+using bloom::BloomConfig;
+using bloom::BloomFilter;
+
+TEST(Estimate, EmptyFilterEstimatesZero)
+{
+    BloomFilter filter{};
+    EXPECT_DOUBLE_EQ(bloom::estimateSetSize(filter), 0.0);
+}
+
+TEST(Estimate, SaturatedFilterReturnsCeiling)
+{
+    EXPECT_DOUBLE_EQ(bloom::estimateSetSize(512, 512, 4), 512.0);
+}
+
+TEST(Estimate, SingleKeyEstimatesAboutOne)
+{
+    BloomFilter filter(BloomConfig{.numBits = 1024, .numHashes = 4,
+                                   .seed = 1});
+    filter.insert(1234567);
+    EXPECT_NEAR(bloom::estimateSetSize(filter), 1.0, 0.1);
+}
+
+TEST(Estimate, MonotonicInBitsSet)
+{
+    double prev = 0.0;
+    for (std::uint64_t t = 0; t <= 1000; t += 50) {
+        double est = bloom::estimateSetSize(t, 1024, 4);
+        EXPECT_GE(est, prev);
+        prev = est;
+    }
+}
+
+/** Eq. 2 accuracy across (set size, filter size) combinations. */
+class SetSizeAccuracy
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>>
+{
+};
+
+TEST_P(SetSizeAccuracy, EstimateWithinTenPercent)
+{
+    const int n = std::get<0>(GetParam());
+    const std::uint64_t bits = std::get<1>(GetParam());
+    BloomFilter filter(BloomConfig{.numBits = bits, .numHashes = 4,
+                                   .seed = 17});
+    sim::Rng rng(static_cast<std::uint64_t>(n) * bits);
+    for (int i = 0; i < n; ++i)
+        filter.insert(rng.next());
+    const double est = bloom::estimateSetSize(filter);
+    // 10% relative + small absolute slack for tiny sets.
+    EXPECT_NEAR(est, n, 0.10 * n + 2.0)
+        << "n=" << n << " bits=" << bits;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SetSizeAccuracy,
+    ::testing::Combine(::testing::Values(4, 16, 64, 128, 256),
+                       ::testing::Values(512, 2048, 8192)));
+
+TEST(Estimate, IntersectionOfIdenticalSetsIsSetSize)
+{
+    BloomConfig config{.numBits = 2048, .numHashes = 4, .seed = 2};
+    BloomFilter a(config), b(config);
+    sim::Rng rng(5);
+    for (int i = 0; i < 50; ++i) {
+        std::uint64_t key = rng.next();
+        a.insert(key);
+        b.insert(key);
+    }
+    EXPECT_NEAR(bloom::estimateIntersectionSize(a, b), 50.0, 7.0);
+}
+
+TEST(Estimate, IntersectionOfDisjointSetsIsNearZero)
+{
+    BloomConfig config{.numBits = 4096, .numHashes = 4, .seed = 3};
+    BloomFilter a(config), b(config);
+    for (std::uint64_t key = 0; key < 60; ++key) {
+        a.insert(0x100000 + key);
+        b.insert(0x900000 + key);
+    }
+    EXPECT_NEAR(bloom::estimateIntersectionSize(a, b), 0.0, 5.0);
+}
+
+TEST(Estimate, IntersectionIsNeverNegative)
+{
+    BloomConfig config{.numBits = 512, .numHashes = 2, .seed = 4};
+    sim::Rng rng(6);
+    for (int trial = 0; trial < 20; ++trial) {
+        BloomFilter a(config), b(config);
+        for (int i = 0; i < 10; ++i) {
+            a.insert(rng.next());
+            b.insert(rng.next());
+        }
+        EXPECT_GE(bloom::estimateIntersectionSize(a, b), 0.0);
+    }
+}
+
+/** Eq. 3 accuracy for partially overlapping sets. */
+class IntersectionAccuracy : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(IntersectionAccuracy, TracksTrueOverlap)
+{
+    const int overlap = GetParam();
+    constexpr int kSetSize = 64;
+    BloomConfig config{.numBits = 4096, .numHashes = 4, .seed = 7};
+    BloomFilter a(config), b(config);
+    sim::Rng rng(static_cast<std::uint64_t>(overlap) + 100);
+    std::vector<std::uint64_t> shared;
+    for (int i = 0; i < overlap; ++i)
+        shared.push_back(rng.next());
+    for (std::uint64_t key : shared) {
+        a.insert(key);
+        b.insert(key);
+    }
+    for (int i = overlap; i < kSetSize; ++i) {
+        a.insert(rng.next());
+        b.insert(rng.next());
+    }
+    EXPECT_NEAR(bloom::estimateIntersectionSize(a, b), overlap,
+                0.2 * kSetSize);
+}
+
+INSTANTIATE_TEST_SUITE_P(OverlapSweep, IntersectionAccuracy,
+                         ::testing::Values(0, 8, 16, 32, 48, 64));
+
+TEST(Similarity, IdenticalSetsHaveSimilarityNearOne)
+{
+    BloomConfig config{.numBits = 2048, .numHashes = 4, .seed = 8};
+    BloomFilter a(config), b(config);
+    for (std::uint64_t key = 0; key < 40; ++key) {
+        a.insert(key * 31 + 7);
+        b.insert(key * 31 + 7);
+    }
+    EXPECT_NEAR(bloom::similarity(a, b, 40.0), 1.0, 0.15);
+}
+
+TEST(Similarity, DisjointSetsHaveSimilarityNearZero)
+{
+    BloomConfig config{.numBits = 4096, .numHashes = 4, .seed = 9};
+    BloomFilter a(config), b(config);
+    for (std::uint64_t key = 0; key < 40; ++key) {
+        a.insert(0x1111000 + key);
+        b.insert(0x9999000 + key);
+    }
+    EXPECT_NEAR(bloom::similarity(a, b, 40.0), 0.0, 0.1);
+}
+
+TEST(Similarity, AlwaysClampedToUnitInterval)
+{
+    BloomConfig config{.numBits = 512, .numHashes = 2, .seed = 10};
+    sim::Rng rng(11);
+    for (int trial = 0; trial < 30; ++trial) {
+        BloomFilter a(config), b(config);
+        int n = static_cast<int>(rng.below(100)) + 1;
+        for (int i = 0; i < n; ++i) {
+            std::uint64_t key = rng.next();
+            a.insert(key);
+            if (rng.chance(0.5))
+                b.insert(key);
+            else
+                b.insert(rng.next());
+        }
+        double sim = bloom::similarity(a, b, static_cast<double>(n));
+        EXPECT_GE(sim, 0.0);
+        EXPECT_LE(sim, 1.0);
+    }
+}
+
+TEST(Similarity, ZeroAvgSizeGivesZero)
+{
+    BloomFilter a{}, b{};
+    a.insert(1);
+    b.insert(1);
+    EXPECT_DOUBLE_EQ(bloom::similarity(a, b, 0.0), 0.0);
+}
+
+TEST(Similarity, ExactSimilarityClamps)
+{
+    EXPECT_DOUBLE_EQ(bloom::exactSimilarity(5.0, 10.0), 0.5);
+    EXPECT_DOUBLE_EQ(bloom::exactSimilarity(15.0, 10.0), 1.0);
+    EXPECT_DOUBLE_EQ(bloom::exactSimilarity(-1.0, 10.0), 0.0);
+    EXPECT_DOUBLE_EQ(bloom::exactSimilarity(1.0, 0.0), 0.0);
+}
+
+/**
+ * The headline property of Section 3.2: half-overlapping consecutive
+ * executions measure similarity ~0.5 across every paper filter size.
+ */
+class SimilaritySizeSweep
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SimilaritySizeSweep, HalfOverlapMeasuresAboutHalf)
+{
+    BloomConfig config{.numBits = GetParam(), .numHashes = 4,
+                       .seed = 12};
+    BloomFilter a(config), b(config);
+    constexpr int kSetSize = 48;
+    sim::Rng rng(GetParam());
+    for (int i = 0; i < kSetSize / 2; ++i) {
+        std::uint64_t key = rng.next();
+        a.insert(key);
+        b.insert(key);
+    }
+    for (int i = kSetSize / 2; i < kSetSize; ++i) {
+        a.insert(rng.next());
+        b.insert(rng.next());
+    }
+    EXPECT_NEAR(bloom::similarity(a, b, kSetSize), 0.5, 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSizes, SimilaritySizeSweep,
+                         ::testing::Values(512, 1024, 2048, 4096,
+                                           8192));
+
+} // namespace

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for the deterministic event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace {
+
+using sim::EventQueue;
+using sim::Tick;
+
+TEST(EventQueue, StartsAtTickZeroAndEmpty)
+{
+    EventQueue q;
+    EXPECT_EQ(q.curTick(), 0u);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, ExecutesEventsInTickOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.curTick(), 30u);
+}
+
+TEST(EventQueue, SameTickEventsFireInScheduleOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, ScheduleInIsRelativeToNow)
+{
+    EventQueue q;
+    Tick fired_at = 0;
+    q.schedule(100, [&] {
+        q.scheduleIn(50, [&] { fired_at = q.curTick(); });
+    });
+    q.run();
+    EXPECT_EQ(fired_at, 150u);
+}
+
+TEST(EventQueue, CallbackMaySchedule)
+{
+    EventQueue q;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 5)
+            q.scheduleIn(1, chain);
+    };
+    q.schedule(0, chain);
+    q.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(q.curTick(), 4u);
+}
+
+TEST(EventQueue, DescheduleCancelsPendingEvent)
+{
+    EventQueue q;
+    bool fired = false;
+    sim::EventId id = q.schedule(10, [&] { fired = true; });
+    EXPECT_TRUE(q.deschedule(id));
+    q.run();
+    EXPECT_FALSE(fired);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, DescheduleTwiceIsIdempotent)
+{
+    EventQueue q;
+    sim::EventId id = q.schedule(10, [] {});
+    EXPECT_TRUE(q.deschedule(id));
+    EXPECT_FALSE(q.deschedule(id));
+}
+
+TEST(EventQueue, DescheduleNoEventIsNoop)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.deschedule(sim::kNoEvent));
+}
+
+TEST(EventQueue, SizeTracksCancellations)
+{
+    EventQueue q;
+    sim::EventId a = q.schedule(10, [] {});
+    q.schedule(20, [] {});
+    EXPECT_EQ(q.size(), 2u);
+    q.deschedule(a);
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_FALSE(q.empty());
+}
+
+TEST(EventQueue, CancelledEventDoesNotBlockLaterOnes)
+{
+    EventQueue q;
+    std::vector<int> order;
+    sim::EventId a = q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(10, [&] { order.push_back(2); });
+    q.deschedule(a);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, RunStopsAtMaxTick)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.schedule(20, [&] { ++fired; });
+    q.schedule(30, [&] { ++fired; });
+    std::uint64_t executed = q.run(20);
+    EXPECT_EQ(executed, 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_FALSE(q.empty());
+    q.run();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, RunReturnsExecutedCount)
+{
+    EventQueue q;
+    for (int i = 0; i < 7; ++i)
+        q.schedule(static_cast<Tick>(i), [] {});
+    EXPECT_EQ(q.run(), 7u);
+}
+
+TEST(EventQueue, EventAtCurrentTickRunsImmediately)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.run();
+    bool fired = false;
+    q.schedule(10, [&] { fired = true; });
+    q.run();
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(q.curTick(), 10u);
+}
+
+TEST(EventQueueDeath, SchedulingInThePastPanics)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.run();
+    EXPECT_DEATH(q.schedule(5, [] {}), "assertion");
+}
+
+} // namespace

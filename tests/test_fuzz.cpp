@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Randomized property tests: the conflict detector against a
+ * reference model, the workload generator against its structural
+ * invariants, and whole simulations across random small
+ * configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "htm/conflict_detector.h"
+#include "runner/simulation.h"
+#include "sim/random.h"
+#include "workloads/generator.h"
+#include "workloads/splash2.h"
+#include "workloads/stamp.h"
+
+namespace {
+
+/**
+ * Reference ownership model: per line, the writer and reader set,
+ * maintained with naive exact logic.
+ */
+struct ReferenceModel {
+    struct Line {
+        int writer = -1;
+        std::set<int> readers;
+    };
+    std::map<mem::Addr, Line> lines;
+
+    /** Would (tx, line, write) conflict, and with whom? */
+    std::set<int>
+    conflicts(int tx, mem::Addr line, bool write) const
+    {
+        std::set<int> result;
+        auto it = lines.find(line);
+        if (it == lines.end())
+            return result;
+        if (it->second.writer >= 0 && it->second.writer != tx)
+            result.insert(it->second.writer);
+        if (write) {
+            for (int reader : it->second.readers) {
+                if (reader != tx)
+                    result.insert(reader);
+            }
+        }
+        return result;
+    }
+
+    void
+    record(int tx, mem::Addr line, bool write)
+    {
+        if (write)
+            lines[line].writer = tx;
+        else
+            lines[line].readers.insert(tx);
+    }
+
+    void
+    remove(int tx)
+    {
+        for (auto it = lines.begin(); it != lines.end();) {
+            if (it->second.writer == tx)
+                it->second.writer = -1;
+            it->second.readers.erase(tx);
+            if (it->second.writer < 0 && it->second.readers.empty())
+                it = lines.erase(it);
+            else
+                ++it;
+        }
+    }
+};
+
+TEST(ConflictDetectorFuzz, MatchesReferenceModel)
+{
+    constexpr int kTxCount = 6;
+    constexpr int kLines = 12;
+    constexpr int kOps = 4000;
+
+    htm::ConflictDetector detector;
+    ReferenceModel reference;
+    std::vector<htm::TxState> txs(kTxCount);
+    std::vector<htm::TxState *> active;
+    for (int i = 0; i < kTxCount; ++i) {
+        txs[i].dTxId = i;
+        txs[i].thread = i;
+        txs[i].timestamp = static_cast<std::uint64_t>(i) + 1;
+        txs[i].active = true;
+        active.push_back(&txs[i]);
+    }
+
+    sim::Rng rng(2024);
+    for (int op = 0; op < kOps; ++op) {
+        const int tx = static_cast<int>(rng.below(kTxCount));
+        if (rng.chance(0.05)) {
+            // Commit/abort: release isolation and start fresh.
+            detector.removeTx(txs[tx]);
+            reference.remove(tx);
+            txs[tx].resetAttempt();
+            txs[tx].active = true;
+            continue;
+        }
+        const mem::Addr line = rng.below(kLines);
+        const bool write = rng.chance(0.4);
+        const auto expected = reference.conflicts(tx, line, write);
+        const htm::AccessResult result =
+            detector.access(txs[tx], line, write, 0);
+        if (expected.empty()) {
+            ASSERT_EQ(result.resolution, htm::Resolution::Proceed)
+                << "op " << op;
+            reference.record(tx, line, write);
+        } else {
+            ASSERT_NE(result.resolution, htm::Resolution::Proceed)
+                << "op " << op;
+            // The holders reported must be exactly the reference's.
+            std::set<int> reported;
+            for (const htm::TxState *holder : result.conflicts)
+                reported.insert(holder->dTxId);
+            ASSERT_EQ(reported, expected) << "op " << op;
+        }
+        ASSERT_TRUE(detector.consistentWith(active));
+    }
+}
+
+TEST(GeneratorFuzz, DescriptorsAlwaysWellFormed)
+{
+    sim::Rng meta_rng(77);
+    for (int trial = 0; trial < 25; ++trial) {
+        workloads::SyntheticParams params;
+        params.name = "fuzz";
+        params.txPerThread = 5;
+        const int groups = 1 + static_cast<int>(meta_rng.below(3));
+        for (int g = 0; g < groups; ++g)
+            params.hotGroupLines.push_back(
+                8 + meta_rng.below(512));
+        const int sites = 1 + static_cast<int>(meta_rng.below(5));
+        for (int s = 0; s < sites; ++s) {
+            workloads::SiteParams site;
+            site.weight = 0.5 + meta_rng.uniform() * 2.0;
+            site.meanAccesses =
+                4 + static_cast<int>(meta_rng.below(60));
+            site.accessJitter = static_cast<int>(
+                meta_rng.below(static_cast<std::uint64_t>(
+                    site.meanAccesses)));
+            site.similarity = meta_rng.uniform();
+            site.writeFraction = meta_rng.uniform();
+            if (meta_rng.chance(0.7)) {
+                workloads::HotGroupRef ref;
+                ref.group =
+                    static_cast<int>(meta_rng.below(groups));
+                ref.frac = meta_rng.uniform() * 0.8;
+                ref.writeFraction = meta_rng.uniform();
+                ref.stickyFrac = meta_rng.uniform();
+                ref.stickyPoolLines = 1 + meta_rng.below(64);
+                site.hotGroups.push_back(ref);
+            }
+            params.sites.push_back(site);
+        }
+        workloads::SyntheticWorkload workload(params, 8);
+        sim::Rng rng(trial);
+        for (int i = 0; i < 40; ++i) {
+            const int thread =
+                static_cast<int>(rng.below(8));
+            const workloads::TxDescriptor desc =
+                workload.next(thread, rng);
+            ASSERT_GE(desc.sTx, 0);
+            ASSERT_LT(desc.sTx, sites);
+            ASSERT_FALSE(desc.accesses.empty());
+            for (const auto &access : desc.accesses) {
+                // Addresses live in a known region.
+                ASSERT_GE(access.addr, 0x1'0000'0000ULL);
+            }
+        }
+    }
+}
+
+TEST(SimulationFuzz, RandomSmallConfigsComplete)
+{
+    sim::Rng meta_rng(31337);
+    const auto stamp = workloads::stampBenchmarkNames();
+    const auto managers = cm::extendedCmKinds();
+    for (int trial = 0; trial < 12; ++trial) {
+        runner::SimConfig config;
+        config.workload = stamp[meta_rng.below(stamp.size())];
+        config.cm = managers[meta_rng.below(managers.size())];
+        config.numCpus = 1 + static_cast<int>(meta_rng.below(16));
+        config.threadsPerCpu =
+            1 + static_cast<int>(meta_rng.below(4));
+        config.seed = meta_rng.next();
+        config.txPerThreadOverride = 4;
+        runner::Simulation simulation(config);
+        const runner::SimResults r = simulation.run();
+        ASSERT_EQ(r.commits,
+                  static_cast<std::uint64_t>(config.numThreads())
+                      * 4u)
+            << r.workload << "/" << r.cm << " cpus="
+            << config.numCpus;
+        // Accounting identity: buckets + idle == machine capacity.
+        ASSERT_EQ(r.breakdown.total(),
+                  static_cast<sim::Cycles>(config.numCpus)
+                      * r.runtime);
+    }
+}
+
+} // namespace

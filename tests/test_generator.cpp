@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Unit and property tests for the synthetic workload generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "workloads/generator.h"
+
+namespace {
+
+using workloads::HotGroupRef;
+using workloads::SiteParams;
+using workloads::SyntheticParams;
+using workloads::SyntheticWorkload;
+using workloads::TxDescriptor;
+
+SyntheticParams
+simpleParams()
+{
+    SyntheticParams params;
+    params.name = "test";
+    params.hotGroupLines = {64};
+    SiteParams site;
+    site.meanAccesses = 20;
+    site.accessJitter = 4;
+    site.similarity = 0.5;
+    site.nonTxWork = 1000;
+    params.sites = {site};
+    params.txPerThread = 10;
+    return params;
+}
+
+/** Unique line addresses of a descriptor. */
+std::unordered_set<mem::Addr>
+lineSet(const TxDescriptor &desc)
+{
+    std::unordered_set<mem::Addr> lines;
+    for (const auto &access : desc.accesses)
+        lines.insert(mem::lineNumber(access.addr));
+    return lines;
+}
+
+TEST(Generator, BasicDescriptorShape)
+{
+    SyntheticWorkload workload(simpleParams(), 4);
+    sim::Rng rng(1);
+    TxDescriptor desc = workload.next(0, rng);
+    EXPECT_EQ(desc.sTx, 0);
+    EXPECT_GE(static_cast<int>(desc.accesses.size()), 16);
+    EXPECT_LE(static_cast<int>(desc.accesses.size()), 24);
+    EXPECT_GE(desc.nonTxWork, 500u);
+    EXPECT_LE(desc.nonTxWork, 1500u);
+}
+
+TEST(Generator, DeterministicGivenSeed)
+{
+    SyntheticWorkload a(simpleParams(), 4), b(simpleParams(), 4);
+    sim::Rng rng_a(7), rng_b(7);
+    for (int i = 0; i < 20; ++i) {
+        TxDescriptor da = a.next(1, rng_a);
+        TxDescriptor db = b.next(1, rng_b);
+        ASSERT_EQ(da.accesses.size(), db.accesses.size());
+        for (std::size_t j = 0; j < da.accesses.size(); ++j) {
+            ASSERT_EQ(da.accesses[j].addr, db.accesses[j].addr);
+            ASSERT_EQ(da.accesses[j].write, db.accesses[j].write);
+        }
+    }
+}
+
+TEST(Generator, PrivateRegionsOfThreadsAreDisjoint)
+{
+    SyntheticParams params = simpleParams();
+    params.sites[0].hotGroups.clear(); // private only
+    SyntheticWorkload workload(params, 8);
+    sim::Rng rng0(1), rng1(2);
+    std::unordered_set<mem::Addr> thread0_lines;
+    for (int i = 0; i < 20; ++i)
+        for (mem::Addr line : lineSet(workload.next(0, rng0)))
+            thread0_lines.insert(line);
+    for (int i = 0; i < 20; ++i) {
+        for (mem::Addr line : lineSet(workload.next(1, rng1)))
+            ASSERT_EQ(thread0_lines.count(line), 0u);
+    }
+}
+
+TEST(Generator, HotRegionIsSharedAcrossThreads)
+{
+    SyntheticParams params = simpleParams();
+    params.sites[0].hotGroups = {
+        {.group = 0, .frac = 0.5, .writeFraction = 0.5,
+         .stickyFrac = 1.0, .stickyPoolLines = 4}};
+    SyntheticWorkload workload(params, 4);
+    sim::Rng rng0(1), rng1(2);
+    std::unordered_set<mem::Addr> thread0_lines;
+    for (int i = 0; i < 10; ++i)
+        for (mem::Addr line : lineSet(workload.next(0, rng0)))
+            thread0_lines.insert(line);
+    int shared = 0;
+    for (int i = 0; i < 10; ++i)
+        for (mem::Addr line : lineSet(workload.next(1, rng1)))
+            shared += thread0_lines.count(line) ? 1 : 0;
+    EXPECT_GT(shared, 0);
+}
+
+TEST(Generator, SimilarityTargetIsApproximatelyMet)
+{
+    for (double target : {0.1, 0.5, 0.9}) {
+        SyntheticParams params = simpleParams();
+        params.sites[0].similarity = target;
+        params.sites[0].hotGroups.clear();
+        params.sites[0].meanAccesses = 40;
+        params.sites[0].accessJitter = 2;
+        SyntheticWorkload workload(params, 1);
+        sim::Rng rng(static_cast<std::uint64_t>(target * 100));
+        auto prev = lineSet(workload.next(0, rng));
+        double sim_sum = 0.0;
+        int samples = 0;
+        double avg_size = static_cast<double>(prev.size());
+        for (int i = 0; i < 200; ++i) {
+            auto cur = lineSet(workload.next(0, rng));
+            avg_size = 0.5 * (avg_size
+                              + static_cast<double>(cur.size()));
+            std::size_t inter = 0;
+            for (mem::Addr line : cur)
+                inter += prev.count(line);
+            sim_sum += static_cast<double>(inter) / avg_size;
+            ++samples;
+            prev = std::move(cur);
+        }
+        const double measured = sim_sum / samples;
+        EXPECT_NEAR(measured, target, 0.15) << "target " << target;
+    }
+}
+
+TEST(Generator, HotWritesComeAfterHotReads)
+{
+    SyntheticParams params = simpleParams();
+    params.sites[0].hotGroups = {
+        {.group = 0, .frac = 0.4, .writeFraction = 1.0}};
+    SyntheticWorkload workload(params, 1);
+    sim::Rng rng(5);
+    for (int i = 0; i < 20; ++i) {
+        TxDescriptor desc = workload.next(0, rng);
+        // Every written hot line must appear as a read earlier
+        // (read-early / write-late).
+        std::unordered_set<mem::Addr> seen_reads;
+        for (const auto &access : desc.accesses) {
+            if (!access.write) {
+                seen_reads.insert(access.addr);
+            } else if (access.addr >= 0x1000'0000'0000ULL) {
+                ASSERT_TRUE(seen_reads.count(access.addr))
+                    << "hot write before its read";
+            }
+        }
+        // And writes must be positioned after all hot reads: the
+        // last access of a fully-written hot transaction is a write.
+        ASSERT_TRUE(desc.accesses.back().write);
+    }
+}
+
+TEST(Generator, ReadOnlyGroupMembersNeverWriteHotLines)
+{
+    SyntheticParams params = simpleParams();
+    params.sites[0].hotGroups = {
+        {.group = 0, .frac = 0.5, .writeFraction = 0.0}};
+    params.sites[0].writeFraction = 0.0;
+    SyntheticWorkload workload(params, 2);
+    sim::Rng rng(6);
+    for (int i = 0; i < 30; ++i) {
+        TxDescriptor desc = workload.next(0, rng);
+        for (const auto &access : desc.accesses)
+            ASSERT_FALSE(access.write);
+    }
+}
+
+TEST(Generator, StickySlotsDrawFromPool)
+{
+    SyntheticParams params = simpleParams();
+    params.hotGroupLines = {1024};
+    params.sites[0].hotGroups = {
+        {.group = 0, .frac = 1.0, .writeFraction = 0.0,
+         .stickyFrac = 1.0, .stickyPoolLines = 8}};
+    SyntheticWorkload workload(params, 1);
+    sim::Rng rng(7);
+    std::set<mem::Addr> distinct;
+    for (int i = 0; i < 50; ++i)
+        for (mem::Addr line : lineSet(workload.next(0, rng)))
+            distinct.insert(line);
+    // All sticky accesses stay within the 8-line pool.
+    EXPECT_LE(distinct.size(), 8u);
+}
+
+TEST(Generator, WeightsSteerSiteSelection)
+{
+    SyntheticParams params = simpleParams();
+    SiteParams rare = params.sites[0];
+    params.sites[0].weight = 9.0;
+    rare.weight = 1.0;
+    params.sites.push_back(rare);
+    SyntheticWorkload workload(params, 1);
+    sim::Rng rng(8);
+    int counts[2] = {0, 0};
+    for (int i = 0; i < 2000; ++i)
+        ++counts[workload.next(0, rng).sTx];
+    EXPECT_NEAR(static_cast<double>(counts[0]) / 2000.0, 0.9, 0.03);
+}
+
+TEST(Generator, MultipleHotGroupsRespectFractions)
+{
+    SyntheticParams params = simpleParams();
+    params.hotGroupLines = {64, 64};
+    params.sites[0].meanAccesses = 40;
+    params.sites[0].similarity = 0.0;
+    params.sites[0].hotGroups = {
+        {.group = 0, .frac = 0.25, .writeFraction = 0.0},
+        {.group = 1, .frac = 0.25, .writeFraction = 0.0}};
+    SyntheticWorkload workload(params, 1);
+    sim::Rng rng(9);
+    int group0 = 0, group1 = 0, total = 0;
+    for (int i = 0; i < 100; ++i) {
+        TxDescriptor desc = workload.next(0, rng);
+        total += static_cast<int>(desc.accesses.size());
+        for (const auto &access : desc.accesses) {
+            if (access.addr >= 0x1000'0100'0000ULL)
+                ++group1;
+            else if (access.addr >= 0x1000'0000'0000ULL)
+                ++group0;
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(group0) / total, 0.25, 0.05);
+    EXPECT_NEAR(static_cast<double>(group1) / total, 0.25, 0.05);
+}
+
+TEST(GeneratorDeath, BadSiteParamsAreRejected)
+{
+    SyntheticParams params = simpleParams();
+    params.sites[0].hotGroups = {
+        {.group = 3, .frac = 0.5, .writeFraction = 0.5}};
+    EXPECT_DEATH(SyntheticWorkload(params, 2), "assertion");
+
+    SyntheticParams overfull = simpleParams();
+    overfull.sites[0].hotGroups = {
+        {.group = 0, .frac = 0.7, .writeFraction = 0.5},
+        {.group = 0, .frac = 0.7, .writeFraction = 0.5}};
+    EXPECT_DEATH(SyntheticWorkload(overfull, 2), "assertion");
+}
+
+} // namespace

@@ -1,0 +1,388 @@
+/**
+ * @file
+ * Unit tests for transaction IDs, transaction state, and the eager
+ * conflict detector with its LogTM-style resolution policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "htm/conflict_detector.h"
+#include "htm/tx_id.h"
+#include "htm/tx_state.h"
+
+namespace {
+
+using htm::AccessResult;
+using htm::ConflictDetector;
+using htm::ConflictPolicy;
+using htm::Resolution;
+using htm::TxState;
+
+TEST(TxIdSpace, RoundTripsThreadAndStatic)
+{
+    htm::TxIdSpace ids(5, 64);
+    for (int thread = 0; thread < 64; thread += 7) {
+        for (int stx = 0; stx < 5; ++stx) {
+            htm::DTxId dtx = ids.make(thread, stx);
+            EXPECT_EQ(ids.threadOf(dtx), thread);
+            EXPECT_EQ(ids.staticOf(dtx), stx);
+        }
+    }
+}
+
+TEST(TxIdSpace, StaticRecoveredByRightShift)
+{
+    // The hardware computes confidx = dTxID >> shift (Example 1).
+    htm::TxIdSpace ids(4, 64);
+    htm::DTxId dtx = ids.make(37, 3);
+    EXPECT_EQ(dtx >> ids.shift(), 3);
+}
+
+TEST(TxIdSpace, DTxIdsAreUnique)
+{
+    htm::TxIdSpace ids(6, 16);
+    std::set<htm::DTxId> seen;
+    for (int thread = 0; thread < 16; ++thread)
+        for (int stx = 0; stx < 6; ++stx)
+            seen.insert(ids.make(thread, stx));
+    EXPECT_EQ(static_cast<int>(seen.size()), ids.numDynamicTx());
+}
+
+TEST(TxIdSpace, DenseIndexIsABijection)
+{
+    htm::TxIdSpace ids(3, 8);
+    std::set<int> indices;
+    for (int thread = 0; thread < 8; ++thread) {
+        for (int stx = 0; stx < 3; ++stx) {
+            int index = ids.denseIndex(ids.make(thread, stx));
+            EXPECT_GE(index, 0);
+            EXPECT_LT(index, ids.numDynamicTx());
+            indices.insert(index);
+        }
+    }
+    EXPECT_EQ(static_cast<int>(indices.size()), ids.numDynamicTx());
+}
+
+TEST(TxIdSpace, SingleThreadSingleSite)
+{
+    htm::TxIdSpace ids(1, 1);
+    EXPECT_EQ(ids.make(0, 0) >> ids.shift(), 0);
+    EXPECT_EQ(ids.numDynamicTx(), 1);
+}
+
+TEST(TxState, FootprintCountsUnionOfSets)
+{
+    TxState tx;
+    tx.readSet = {1, 2, 3};
+    tx.writeSet = {3, 4};
+    EXPECT_EQ(tx.footprint(), 4u);
+}
+
+TEST(TxState, ResetAttemptKeepsIdentity)
+{
+    TxState tx;
+    tx.dTxId = 42;
+    tx.timestamp = 7;
+    tx.readSet = {1};
+    tx.writeSet = {2};
+    tx.workDone = 100;
+    tx.accessesDone = 3;
+    tx.active = true;
+    tx.resetAttempt();
+    EXPECT_EQ(tx.dTxId, 42);
+    EXPECT_EQ(tx.timestamp, 7u);
+    EXPECT_TRUE(tx.readSet.empty());
+    EXPECT_TRUE(tx.writeSet.empty());
+    EXPECT_EQ(tx.workDone, 0u);
+    EXPECT_FALSE(tx.active);
+}
+
+class ConflictDetectorTest : public ::testing::Test
+{
+  protected:
+    TxState
+    makeTx(htm::DTxId dtx, std::uint64_t timestamp)
+    {
+        TxState tx;
+        tx.dTxId = dtx;
+        tx.thread = dtx;
+        tx.timestamp = timestamp;
+        tx.active = true;
+        return tx;
+    }
+
+    ConflictDetector detector_;
+};
+
+TEST_F(ConflictDetectorTest, ReadReadSharingIsFine)
+{
+    TxState a = makeTx(1, 1), b = makeTx(2, 2);
+    EXPECT_EQ(detector_.access(a, 100, false, 0).resolution,
+              Resolution::Proceed);
+    EXPECT_EQ(detector_.access(b, 100, false, 0).resolution,
+              Resolution::Proceed);
+    EXPECT_EQ(detector_.conflictsDetected().value(), 0u);
+}
+
+TEST_F(ConflictDetectorTest, WriteAfterReadConflicts)
+{
+    TxState a = makeTx(1, 1), b = makeTx(2, 2);
+    detector_.access(a, 100, false, 0);
+    AccessResult result = detector_.access(b, 100, true, 0);
+    EXPECT_EQ(result.resolution, Resolution::StallRequester);
+    ASSERT_EQ(result.conflicts.size(), 1u);
+    EXPECT_EQ(result.conflicts[0], &a);
+}
+
+TEST_F(ConflictDetectorTest, ReadAfterWriteConflicts)
+{
+    TxState a = makeTx(1, 1), b = makeTx(2, 2);
+    detector_.access(a, 100, true, 0);
+    AccessResult result = detector_.access(b, 100, false, 0);
+    EXPECT_EQ(result.resolution, Resolution::StallRequester);
+    ASSERT_EQ(result.conflicts.size(), 1u);
+    EXPECT_EQ(result.conflicts[0], &a);
+}
+
+TEST_F(ConflictDetectorTest, WriteWriteConflicts)
+{
+    TxState a = makeTx(1, 1), b = makeTx(2, 2);
+    detector_.access(a, 100, true, 0);
+    EXPECT_EQ(detector_.access(b, 100, true, 0).resolution,
+              Resolution::StallRequester);
+}
+
+TEST_F(ConflictDetectorTest, OwnAccessesNeverConflict)
+{
+    TxState a = makeTx(1, 1);
+    EXPECT_EQ(detector_.access(a, 100, false, 0).resolution,
+              Resolution::Proceed);
+    EXPECT_EQ(detector_.access(a, 100, true, 0).resolution,
+              Resolution::Proceed);
+    EXPECT_EQ(detector_.access(a, 100, false, 0).resolution,
+              Resolution::Proceed);
+    EXPECT_EQ(detector_.conflictsDetected().value(), 0u);
+}
+
+TEST_F(ConflictDetectorTest, UpgradeAgainstOtherReadersConflicts)
+{
+    TxState a = makeTx(1, 1), b = makeTx(2, 2);
+    detector_.access(a, 100, false, 0);
+    detector_.access(b, 100, false, 0);
+    AccessResult result = detector_.access(a, 100, true, 0);
+    EXPECT_NE(result.resolution, Resolution::Proceed);
+    ASSERT_EQ(result.conflicts.size(), 1u);
+    EXPECT_EQ(result.conflicts[0], &b);
+}
+
+TEST_F(ConflictDetectorTest, WriterAlsoReaderReportedOnce)
+{
+    // a reads then writes the line; b's write must report a once.
+    TxState a = makeTx(1, 1), b = makeTx(2, 2);
+    detector_.access(a, 100, false, 0);
+    detector_.access(a, 100, true, 0);
+    AccessResult result = detector_.access(b, 100, true, 0);
+    EXPECT_EQ(result.conflicts.size(), 1u);
+}
+
+TEST_F(ConflictDetectorTest, MultipleReadersAllReported)
+{
+    TxState a = makeTx(1, 1), b = makeTx(2, 2), c = makeTx(3, 3);
+    detector_.access(a, 100, false, 0);
+    detector_.access(b, 100, false, 0);
+    AccessResult result = detector_.access(c, 100, true, 0);
+    EXPECT_EQ(result.conflicts.size(), 2u);
+}
+
+TEST_F(ConflictDetectorTest, StallsEscalateToRequesterAbort)
+{
+    ConflictPolicy policy;
+    policy.maxStallRetries = 3;
+    ConflictDetector detector(policy);
+    TxState a = makeTx(1, 1), b = makeTx(2, 2);
+    detector.access(a, 100, true, 0);
+    for (int retry = 0; retry < 3; ++retry) {
+        EXPECT_EQ(detector.access(b, 100, true, retry).resolution,
+                  Resolution::StallRequester);
+    }
+    EXPECT_EQ(detector.access(b, 100, true, 3).resolution,
+              Resolution::AbortRequester);
+}
+
+TEST_F(ConflictDetectorTest, StarvedOldRequesterKillsHolders)
+{
+    ConflictPolicy policy;
+    policy.maxStallRetries = 0;
+    policy.selfAbortEscape = 2;
+    ConflictDetector detector(policy);
+    TxState old_tx = makeTx(1, 1), young = makeTx(2, 99);
+    detector.access(young, 100, true, 0);
+    // Old requester, not yet starved: aborts itself.
+    EXPECT_EQ(detector.access(old_tx, 100, true, 0, 1).resolution,
+              Resolution::AbortRequester);
+    // Starved past the escape threshold: age wins.
+    AccessResult result = detector.access(old_tx, 100, true, 0, 2);
+    EXPECT_EQ(result.resolution, Resolution::AbortHolders);
+    ASSERT_EQ(result.conflicts.size(), 1u);
+    EXPECT_EQ(result.conflicts[0], &young);
+}
+
+TEST_F(ConflictDetectorTest, StarvedYoungRequesterStillSelfAborts)
+{
+    ConflictPolicy policy;
+    policy.maxStallRetries = 0;
+    policy.selfAbortEscape = 2;
+    ConflictDetector detector(policy);
+    TxState old_tx = makeTx(1, 1), young = makeTx(2, 99);
+    detector.access(old_tx, 100, true, 0);
+    EXPECT_EQ(detector.access(young, 100, true, 0, 50).resolution,
+              Resolution::AbortRequester);
+}
+
+TEST_F(ConflictDetectorTest, RemoveTxReleasesIsolation)
+{
+    TxState a = makeTx(1, 1), b = makeTx(2, 2);
+    detector_.access(a, 100, true, 0);
+    detector_.access(a, 200, false, 0);
+    detector_.removeTx(a);
+    EXPECT_EQ(detector_.access(b, 100, true, 0).resolution,
+              Resolution::Proceed);
+    EXPECT_EQ(detector_.access(b, 200, true, 0).resolution,
+              Resolution::Proceed);
+    EXPECT_EQ(detector_.ownedLines(), 2u);
+}
+
+TEST_F(ConflictDetectorTest, RegistryShrinksOnRemove)
+{
+    TxState a = makeTx(1, 1);
+    detector_.access(a, 100, true, 0);
+    detector_.access(a, 200, false, 0);
+    EXPECT_EQ(detector_.ownedLines(), 2u);
+    detector_.removeTx(a);
+    EXPECT_EQ(detector_.ownedLines(), 0u);
+}
+
+TEST_F(ConflictDetectorTest, ConsistencyCheckerSeesRegistry)
+{
+    TxState a = makeTx(1, 1), b = makeTx(2, 2);
+    detector_.access(a, 100, true, 0);
+    detector_.access(b, 200, false, 0);
+    EXPECT_TRUE(detector_.consistentWith({&a, &b}));
+    // A tx the registry does not know about breaks consistency.
+    TxState ghost = makeTx(3, 3);
+    ghost.readSet.insert(300);
+    EXPECT_FALSE(detector_.consistentWith({&a, &b, &ghost}));
+    detector_.removeTx(a);
+    EXPECT_TRUE(detector_.consistentWith({&b}));
+}
+
+TEST_F(ConflictDetectorTest, ConflictCounterCounts)
+{
+    TxState a = makeTx(1, 1), b = makeTx(2, 2);
+    detector_.access(a, 100, true, 0);
+    detector_.access(b, 100, true, 0);
+    detector_.access(b, 100, true, 1);
+    EXPECT_EQ(detector_.conflictsDetected().value(), 2u);
+}
+
+TEST_F(ConflictDetectorTest, FailedAccessDoesNotRecordOwnership)
+{
+    TxState a = makeTx(1, 1), b = makeTx(2, 2);
+    detector_.access(a, 100, true, 0);
+    detector_.access(b, 100, true, 0); // conflicts, not recorded
+    EXPECT_TRUE(b.writeSet.empty());
+    detector_.removeTx(a);
+    EXPECT_EQ(detector_.ownedLines(), 0u);
+}
+
+} // namespace
+
+// ---- signature-mode detection (LogTM-SE style) ---------------------------
+
+class SignatureDetectorTest : public ::testing::Test
+{
+  protected:
+    SignatureDetectorTest()
+    {
+        htm::ConflictPolicy policy;
+        policy.detectionMode = htm::DetectionMode::Signature;
+        policy.signature.numBits = 4096;
+        detector_ = std::make_unique<ConflictDetector>(policy);
+    }
+
+    TxState
+    makeTx(htm::DTxId dtx, std::uint64_t timestamp)
+    {
+        TxState tx;
+        tx.dTxId = dtx;
+        tx.thread = dtx;
+        tx.timestamp = timestamp;
+        tx.active = true;
+        return tx;
+    }
+
+    std::unique_ptr<ConflictDetector> detector_;
+};
+
+TEST_F(SignatureDetectorTest, RealConflictsAreNeverMissed)
+{
+    TxState a = makeTx(1, 1), b = makeTx(2, 2);
+    detector_->access(a, 100, true, 0);
+    AccessResult result = detector_->access(b, 100, true, 0);
+    EXPECT_NE(result.resolution, Resolution::Proceed);
+    ASSERT_FALSE(result.conflicts.empty());
+    EXPECT_EQ(result.conflicts.front(), &a);
+}
+
+TEST_F(SignatureDetectorTest, DisjointLinesUsuallyProceed)
+{
+    TxState a = makeTx(1, 1), b = makeTx(2, 2);
+    detector_->access(a, 100, true, 0);
+    // One line in a 4096-bit signature: a false positive on a
+    // specific other line is overwhelmingly unlikely.
+    EXPECT_EQ(detector_->access(b, 50000, true, 0).resolution,
+              Resolution::Proceed);
+    EXPECT_EQ(detector_->falseConflicts().value(), 0u);
+}
+
+TEST_F(SignatureDetectorTest, TinySignaturesManufactureConflicts)
+{
+    htm::ConflictPolicy policy;
+    policy.detectionMode = htm::DetectionMode::Signature;
+    policy.signature.numBits = 64;
+    policy.signature.numHashes = 4;
+    ConflictDetector detector(policy);
+    TxState a = makeTx(1, 1), b = makeTx(2, 2);
+    // Crowd a's signature, then probe many disjoint lines from b.
+    for (mem::Addr line = 0; line < 30; ++line)
+        detector.access(a, line, true, 0);
+    int rejected = 0;
+    for (mem::Addr line = 1000; line < 1030; ++line) {
+        if (detector.access(b, line, true, 0).resolution
+            != Resolution::Proceed) {
+            ++rejected;
+        }
+    }
+    EXPECT_GT(rejected, 0);
+    EXPECT_EQ(detector.falseConflicts().value(),
+              static_cast<std::uint64_t>(rejected));
+}
+
+TEST_F(SignatureDetectorTest, RemoveTxClearsSignatures)
+{
+    TxState a = makeTx(1, 1), b = makeTx(2, 2);
+    detector_->access(a, 100, true, 0);
+    detector_->removeTx(a);
+    a.resetAttempt();
+    a.active = true;
+    EXPECT_EQ(detector_->access(b, 100, true, 0).resolution,
+              Resolution::Proceed);
+}
+
+TEST_F(SignatureDetectorTest, ReadersDoNotConflictWithReaders)
+{
+    TxState a = makeTx(1, 1), b = makeTx(2, 2);
+    detector_->access(a, 100, false, 0);
+    EXPECT_EQ(detector_->access(b, 100, false, 0).resolution,
+              Resolution::Proceed);
+}

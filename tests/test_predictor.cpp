@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for the hardware scheduling accelerator: CPU table
+ * coherence, Example 1's lookup algorithm, confidence-cache timing
+ * and invalidation-refetch behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/predictor.h"
+
+namespace {
+
+using cpu::PredictorConfig;
+using cpu::PredictorSystem;
+using cpu::PredictResult;
+
+class PredictorTest : public ::testing::Test
+{
+  protected:
+    PredictorTest() : ids_(4, 16), predictors_(4, ids_) {}
+
+    /** Confidence reader backed by a small matrix. */
+    cpu::ConfidenceFn
+    reader()
+    {
+        return [this](htm::STxId row, htm::STxId col) {
+            return conf_[row][col];
+        };
+    }
+
+    htm::TxIdSpace ids_;
+    PredictorSystem predictors_;
+    std::uint32_t conf_[4][4] = {};
+};
+
+TEST_F(PredictorTest, CpuTablesStartEmpty)
+{
+    for (int viewer = 0; viewer < 4; ++viewer)
+        for (int owner = 0; owner < 4; ++owner)
+            EXPECT_EQ(predictors_.cpuTableEntry(viewer, owner),
+                      htm::kNoTx);
+}
+
+TEST_F(PredictorTest, BroadcastBeginUpdatesAllPredictors)
+{
+    const htm::DTxId dtx = ids_.make(5, 2);
+    predictors_.broadcastBegin(1, dtx);
+    for (int viewer = 0; viewer < 4; ++viewer)
+        EXPECT_EQ(predictors_.cpuTableEntry(viewer, 1), dtx);
+}
+
+TEST_F(PredictorTest, BroadcastEndClearsEntry)
+{
+    predictors_.broadcastBegin(2, ids_.make(1, 1));
+    predictors_.broadcastEnd(2);
+    for (int viewer = 0; viewer < 4; ++viewer)
+        EXPECT_EQ(predictors_.cpuTableEntry(viewer, 2), htm::kNoTx);
+}
+
+TEST_F(PredictorTest, NoRunningTxPredictsNoConflict)
+{
+    PredictResult result = predictors_.predict(0, 1, reader(), 50);
+    EXPECT_FALSE(result.conflictPredicted);
+    EXPECT_EQ(result.waitOn, htm::kNoTx);
+    EXPECT_GT(result.latency, 0u);
+}
+
+TEST_F(PredictorTest, PredictsConflictAboveThreshold)
+{
+    conf_[1][2] = 100;
+    const htm::DTxId running = ids_.make(7, 2);
+    predictors_.broadcastBegin(3, running);
+    PredictResult result = predictors_.predict(0, 1, reader(), 50);
+    EXPECT_TRUE(result.conflictPredicted);
+    EXPECT_EQ(result.waitOn, running);
+}
+
+TEST_F(PredictorTest, ThresholdIsStrict)
+{
+    conf_[1][2] = 50;
+    predictors_.broadcastBegin(3, ids_.make(7, 2));
+    // conf == threshold does NOT trigger (Example 1: conf > threshold).
+    EXPECT_FALSE(
+        predictors_.predict(0, 1, reader(), 50).conflictPredicted);
+    conf_[1][2] = 51;
+    EXPECT_TRUE(
+        predictors_.predict(0, 1, reader(), 50).conflictPredicted);
+}
+
+TEST_F(PredictorTest, OwnCpuIsSkipped)
+{
+    conf_[1][1] = 255;
+    predictors_.broadcastBegin(0, ids_.make(0, 1));
+    // Predicting on CPU 0 must not serialize against itself.
+    EXPECT_FALSE(
+        predictors_.predict(0, 1, reader(), 50).conflictPredicted);
+}
+
+TEST_F(PredictorTest, ReturnsFirstConflictingCpu)
+{
+    conf_[0][1] = 200;
+    conf_[0][2] = 200;
+    const htm::DTxId first = ids_.make(1, 1);
+    const htm::DTxId second = ids_.make(2, 2);
+    predictors_.broadcastBegin(1, first);
+    predictors_.broadcastBegin(2, second);
+    PredictResult result = predictors_.predict(0, 0, reader(), 50);
+    EXPECT_TRUE(result.conflictPredicted);
+    EXPECT_EQ(result.waitOn, first); // scan order: CPU 1 before 2
+}
+
+TEST_F(PredictorTest, LowConfidenceTxIsIgnored)
+{
+    conf_[0][1] = 10;
+    conf_[0][3] = 90;
+    predictors_.broadcastBegin(1, ids_.make(1, 1));
+    predictors_.broadcastBegin(2, ids_.make(2, 3));
+    PredictResult result = predictors_.predict(0, 0, reader(), 50);
+    EXPECT_TRUE(result.conflictPredicted);
+    EXPECT_EQ(ids_.staticOf(result.waitOn), 3);
+}
+
+TEST_F(PredictorTest, FirstLookupMissesThenHits)
+{
+    conf_[1][2] = 10; // below threshold: full scan happens
+    predictors_.broadcastBegin(3, ids_.make(7, 2));
+    PredictResult cold = predictors_.predict(0, 1, reader(), 50);
+    PredictResult warm = predictors_.predict(0, 1, reader(), 50);
+    EXPECT_GT(cold.latency, warm.latency);
+    EXPECT_EQ(predictors_.confCache(0).misses().value(), 1u);
+    EXPECT_EQ(predictors_.confCache(0).hits().value(), 1u);
+}
+
+TEST_F(PredictorTest, ConfidenceWriteInvalidatesButRefetches)
+{
+    conf_[1][2] = 10;
+    predictors_.broadcastBegin(3, ids_.make(7, 2));
+    predictors_.predict(0, 1, reader(), 50); // warm the cache
+    predictors_.onConfidenceWrite(1, 2);
+    EXPECT_GE(predictors_.confCache(0).refetches().value(), 1u);
+    // Thanks to refetch-on-invalidate, the next predict still hits.
+    PredictResult after = predictors_.predict(0, 1, reader(), 50);
+    EXPECT_EQ(predictors_.confCache(0).misses().value(), 1u);
+    EXPECT_GT(predictors_.confCache(0).hits().value(), 0u);
+    (void)after;
+}
+
+TEST_F(PredictorTest, LatencyScalesWithEntriesScanned)
+{
+    // Empty table: latency = trigger + 3 entries * perEntry.
+    PredictorConfig config;
+    PredictResult result = predictors_.predict(0, 0, reader(), 50);
+    EXPECT_EQ(result.latency,
+              config.triggerCost + 3 * config.perEntryCost);
+}
+
+TEST_F(PredictorTest, PredictionCountersTrack)
+{
+    conf_[0][1] = 100;
+    predictors_.predict(0, 0, reader(), 50);
+    predictors_.broadcastBegin(1, ids_.make(1, 1));
+    predictors_.predict(0, 0, reader(), 50);
+    EXPECT_EQ(predictors_.predictions().value(), 2u);
+    EXPECT_EQ(predictors_.conflictsPredicted().value(), 1u);
+}
+
+TEST_F(PredictorTest, DistinctCpusHaveDistinctCaches)
+{
+    conf_[1][2] = 10;
+    predictors_.broadcastBegin(3, ids_.make(7, 2));
+    predictors_.predict(0, 1, reader(), 50);
+    // CPU 1's cache is still cold.
+    EXPECT_EQ(predictors_.confCache(1).misses().value(), 0u);
+    predictors_.predict(1, 1, reader(), 50);
+    EXPECT_EQ(predictors_.confCache(1).misses().value(), 1u);
+}
+
+} // namespace

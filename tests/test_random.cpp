@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit and statistical tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/random.h"
+
+namespace {
+
+using sim::Rng;
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i)
+        equal += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 2000; ++i)
+            ASSERT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero)
+{
+    Rng rng(7);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng rng(99);
+    constexpr int kBuckets = 10;
+    constexpr int kSamples = 100000;
+    int counts[kBuckets] = {};
+    for (int i = 0; i < kSamples; ++i)
+        ++counts[rng.below(kBuckets)];
+    // Each bucket expects 10000; allow 5% deviation.
+    for (int b = 0; b < kBuckets; ++b) {
+        EXPECT_GT(counts[b], 9500) << "bucket " << b;
+        EXPECT_LT(counts[b], 10500) << "bucket " << b;
+    }
+}
+
+TEST(Rng, RangeIsInclusive)
+{
+    Rng rng(3);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        std::int64_t v = rng.range(-2, 2);
+        ASSERT_GE(v, -2);
+        ASSERT_LE(v, 2);
+        saw_lo |= v == -2;
+        saw_hi |= v == 2;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, RangeSingletonReturnsThatValue)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10; ++i)
+        ASSERT_EQ(rng.range(5, 5), 5);
+}
+
+TEST(Rng, UniformIsInHalfOpenUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    for (int i = 0; i < 100000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceRespectsEdgeProbabilities)
+{
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+        EXPECT_FALSE(rng.chance(-0.5));
+        EXPECT_TRUE(rng.chance(1.5));
+    }
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    constexpr int kSamples = 100000;
+    for (int i = 0; i < kSamples; ++i)
+        hits += rng.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(Rng, Mix64IsDeterministicAndSpreads)
+{
+    EXPECT_EQ(sim::mix64(1), sim::mix64(1));
+    std::set<std::uint64_t> outputs;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        outputs.insert(sim::mix64(i));
+    EXPECT_EQ(outputs.size(), 1000u);
+}
+
+TEST(Rng, SplitmixAdvancesState)
+{
+    std::uint64_t state = 123;
+    std::uint64_t a = sim::splitmix64(state);
+    std::uint64_t b = sim::splitmix64(state);
+    EXPECT_NE(a, b);
+}
+
+} // namespace

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Paper-shape regression tests: the qualitative results of the
+ * evaluation (who beats whom, where) must hold. These guard the
+ * workload calibration and cost model against regressions; exact
+ * magnitudes are checked in EXPERIMENTS.md, not here.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "runner/experiment.h"
+
+namespace {
+
+/** Cache runs: the fixture executes each cell at most once. */
+class ShapeTest : public ::testing::Test
+{
+  protected:
+    static runner::SimResults &
+    cell(const std::string &workload, cm::CmKind kind)
+    {
+        static std::map<std::pair<std::string, int>,
+                        runner::SimResults>
+            cache;
+        auto key = std::make_pair(workload, static_cast<int>(kind));
+        auto it = cache.find(key);
+        if (it == cache.end()) {
+            runner::RunOptions options;
+            options.txPerThread = 60;
+            it = cache
+                     .emplace(key,
+                              runner::runStamp(workload, kind,
+                                               options))
+                     .first;
+        }
+        return it->second;
+    }
+
+    static double
+    speedupRatio(const std::string &workload, cm::CmKind faster,
+                 cm::CmKind slower)
+    {
+        return static_cast<double>(cell(workload, slower).runtime)
+             / static_cast<double>(cell(workload, faster).runtime);
+    }
+};
+
+TEST_F(ShapeTest, BfgtsHwBeatsEveryoneOnIntruder)
+{
+    // The paper's flagship: up to 1.75x over PTS on Intruder.
+    EXPECT_GT(speedupRatio("Intruder", cm::CmKind::BfgtsHw,
+                           cm::CmKind::Pts),
+              1.3);
+    EXPECT_GT(speedupRatio("Intruder", cm::CmKind::BfgtsHw,
+                           cm::CmKind::Backoff),
+              1.15);
+    EXPECT_GT(speedupRatio("Intruder", cm::CmKind::BfgtsHw,
+                           cm::CmKind::Ats),
+              1.3);
+}
+
+TEST_F(ShapeTest, BfgtsHwBeatsBackoffAndPtsOnGenome)
+{
+    EXPECT_GT(speedupRatio("Genome", cm::CmKind::BfgtsHw,
+                           cm::CmKind::Backoff),
+              1.1);
+    EXPECT_GT(speedupRatio("Genome", cm::CmKind::BfgtsHw,
+                           cm::CmKind::Pts),
+              1.05);
+}
+
+TEST_F(ShapeTest, BfgtsHwBeatsBackoffAndPtsOnKmeans)
+{
+    EXPECT_GT(speedupRatio("Kmeans", cm::CmKind::BfgtsHw,
+                           cm::CmKind::Backoff),
+              1.05);
+    EXPECT_GT(speedupRatio("Kmeans", cm::CmKind::BfgtsHw,
+                           cm::CmKind::Pts),
+              1.05);
+}
+
+TEST_F(ShapeTest, BackoffWinsLowContentionSsca2)
+{
+    // Ssca2 favors the lowest-overhead manager (paper Section 5.2).
+    EXPECT_GT(speedupRatio("Ssca2", cm::CmKind::Backoff,
+                           cm::CmKind::BfgtsHw),
+              1.0);
+    EXPECT_GT(speedupRatio("Ssca2", cm::CmKind::Backoff,
+                           cm::CmKind::Pts),
+              1.5);
+}
+
+TEST_F(ShapeTest, AtsCollapsesOnDenseConflictDelaunay)
+{
+    // The paper's 4.6x headline is BFGTS-HW over ATS on Delaunay.
+    EXPECT_GT(speedupRatio("Delaunay", cm::CmKind::BfgtsHw,
+                           cm::CmKind::Ats),
+              1.5);
+}
+
+TEST_F(ShapeTest, HardwareBeatsSoftwareOnOverheadSensitive)
+{
+    // BFGTS-HW eliminates the begin-scan overhead of BFGTS-SW.
+    for (const char *workload : {"Intruder", "Ssca2", "Kmeans"}) {
+        EXPECT_GT(speedupRatio(workload, cm::CmKind::BfgtsHw,
+                               cm::CmKind::BfgtsSw),
+                  1.0)
+            << workload;
+    }
+}
+
+TEST_F(ShapeTest, NoOverheadIsTheUpperBoundOnAverage)
+{
+    double ratio_product = 1.0;
+    int count = 0;
+    for (const char *workload :
+         {"Delaunay", "Genome", "Kmeans", "Intruder", "Ssca2"}) {
+        ratio_product *= speedupRatio(
+            workload, cm::CmKind::BfgtsNoOverhead,
+            cm::CmKind::BfgtsHw);
+        ++count;
+    }
+    EXPECT_GT(std::pow(ratio_product, 1.0 / count), 1.0);
+}
+
+TEST_F(ShapeTest, SchedulersReduceContentionBelowBackoff)
+{
+    for (const char *workload :
+         {"Delaunay", "Genome", "Intruder", "Kmeans"}) {
+        const double backoff =
+            cell(workload, cm::CmKind::Backoff).contentionRate;
+        EXPECT_LT(cell(workload, cm::CmKind::BfgtsHw).contentionRate,
+                  backoff)
+            << workload;
+        EXPECT_LT(cell(workload, cm::CmKind::Ats).contentionRate,
+                  backoff)
+            << workload;
+    }
+}
+
+TEST_F(ShapeTest, AtsIdlesCpusOnHighContention)
+{
+    const runner::Breakdown &b =
+        cell("Delaunay", cm::CmKind::Ats).breakdown;
+    // Central-queue blocking leaves most of the machine idle.
+    EXPECT_GT(b.frac(b.idle), 0.4);
+}
+
+TEST_F(ShapeTest, BackoffBurnsCyclesInAbortsOnHighContention)
+{
+    const runner::Breakdown &b =
+        cell("Intruder", cm::CmKind::Backoff).breakdown;
+    EXPECT_GT(b.frac(b.aborted), 0.3);
+}
+
+} // namespace

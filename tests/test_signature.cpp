@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the polymorphic signature layer (Bloom vs perfect), and
+ * the property that the Bloom implementation approximates the
+ * perfect one.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bloom/signature.h"
+#include "sim/random.h"
+
+namespace {
+
+using bloom::BloomSignature;
+using bloom::PerfectSignature;
+using bloom::Signature;
+
+TEST(PerfectSignature, ExactSizeAndIntersection)
+{
+    PerfectSignature a, b;
+    for (std::uint64_t key = 0; key < 20; ++key)
+        a.insert(key);
+    for (std::uint64_t key = 10; key < 30; ++key)
+        b.insert(key);
+    EXPECT_DOUBLE_EQ(a.estimateSize(), 20.0);
+    EXPECT_DOUBLE_EQ(a.estimateIntersectionSize(b), 10.0);
+    EXPECT_TRUE(a.intersectsNonEmpty(b));
+}
+
+TEST(PerfectSignature, DisjointSetsDoNotIntersect)
+{
+    PerfectSignature a, b;
+    a.insert(1);
+    b.insert(2);
+    EXPECT_FALSE(a.intersectsNonEmpty(b));
+    EXPECT_DOUBLE_EQ(a.estimateIntersectionSize(b), 0.0);
+}
+
+TEST(PerfectSignature, ClearAndEmpty)
+{
+    PerfectSignature a;
+    EXPECT_TRUE(a.empty());
+    a.insert(5);
+    EXPECT_FALSE(a.empty());
+    a.clear();
+    EXPECT_TRUE(a.empty());
+    EXPECT_DOUBLE_EQ(a.estimateSize(), 0.0);
+}
+
+TEST(PerfectSignature, DuplicateInsertsAreIdempotent)
+{
+    PerfectSignature a;
+    a.insert(5);
+    a.insert(5);
+    EXPECT_DOUBLE_EQ(a.estimateSize(), 1.0);
+}
+
+TEST(PerfectSignature, CloneIsDeepCopy)
+{
+    PerfectSignature a;
+    a.insert(1);
+    auto clone = a.clone();
+    a.insert(2);
+    EXPECT_DOUBLE_EQ(clone->estimateSize(), 1.0);
+    EXPECT_DOUBLE_EQ(a.estimateSize(), 2.0);
+}
+
+TEST(BloomSignature, BasicRoundTrip)
+{
+    BloomSignature a;
+    EXPECT_TRUE(a.empty());
+    a.insert(123);
+    EXPECT_FALSE(a.empty());
+    EXPECT_NEAR(a.estimateSize(), 1.0, 0.1);
+    a.clear();
+    EXPECT_TRUE(a.empty());
+}
+
+TEST(BloomSignature, CloneIsIndependent)
+{
+    BloomSignature a;
+    a.insert(1);
+    auto clone = a.clone();
+    a.insert(2);
+    EXPECT_LT(clone->estimateSize(), a.estimateSize());
+}
+
+TEST(BloomSignatureDeath, MixingImplementationsPanics)
+{
+    BloomSignature a;
+    PerfectSignature b;
+    a.insert(1);
+    b.insert(1);
+    EXPECT_DEATH(a.intersectsNonEmpty(b), "non-Bloom");
+    EXPECT_DEATH(b.estimateIntersectionSize(a), "non-perfect");
+}
+
+TEST(SignatureSimilarity, AgreesAcrossImplementations)
+{
+    // Build the same half-overlapping sets in both implementations;
+    // the Bloom similarity must approximate the exact one.
+    BloomSignature bloom_new, bloom_old;
+    PerfectSignature exact_new, exact_old;
+    sim::Rng rng(21);
+    constexpr int kSize = 60;
+    for (int i = 0; i < kSize; ++i) {
+        std::uint64_t key = rng.next();
+        bloom_new.insert(key);
+        exact_new.insert(key);
+        if (i < kSize / 2) {
+            bloom_old.insert(key);
+            exact_old.insert(key);
+        } else {
+            std::uint64_t other = rng.next();
+            bloom_old.insert(other);
+            exact_old.insert(other);
+        }
+    }
+    const double exact = bloom::signatureSimilarity(exact_new,
+                                                    exact_old, kSize);
+    const double approx = bloom::signatureSimilarity(bloom_new,
+                                                     bloom_old, kSize);
+    EXPECT_NEAR(exact, 0.5, 0.05);
+    EXPECT_NEAR(approx, exact, 0.2);
+}
+
+TEST(SignatureSimilarity, PerfectIdenticalIsOne)
+{
+    PerfectSignature a, b;
+    for (std::uint64_t key = 0; key < 25; ++key) {
+        a.insert(key);
+        b.insert(key);
+    }
+    EXPECT_DOUBLE_EQ(bloom::signatureSimilarity(a, b, 25.0), 1.0);
+}
+
+} // namespace

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for counters, accumulators and table formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.h"
+
+namespace {
+
+TEST(Counter, StartsAtZeroIncrementsAndResets)
+{
+    sim::Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(4);
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Accumulator, EmptyIsAllZero)
+{
+    sim::Accumulator a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(Accumulator, TracksMoments)
+{
+    sim::Accumulator a;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        a.sample(x);
+    EXPECT_EQ(a.count(), 8u);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_NEAR(a.stddev(), 2.0, 1e-9); // classic example set
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(Accumulator, SingleSampleHasZeroStddev)
+{
+    sim::Accumulator a;
+    a.sample(3.5);
+    EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.5);
+}
+
+TEST(Accumulator, ResetClears)
+{
+    sim::Accumulator a;
+    a.sample(1.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Accumulator, NegativeValues)
+{
+    sim::Accumulator a;
+    a.sample(-3.0);
+    a.sample(3.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), -3.0);
+    EXPECT_DOUBLE_EQ(a.max(), 3.0);
+}
+
+TEST(StatGroup, DumpsRegisteredStats)
+{
+    sim::Counter commits;
+    commits.inc(3);
+    sim::Accumulator latency;
+    latency.sample(10.0);
+    latency.sample(20.0);
+
+    sim::StatGroup group("htm");
+    group.addCounter("commits", &commits);
+    group.addAccumulator("latency", &latency);
+
+    std::ostringstream os;
+    group.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("htm.commits 3"), std::string::npos);
+    EXPECT_NE(out.find("htm.latency.count 2"), std::string::npos);
+    EXPECT_NE(out.find("htm.latency.mean 15.0000"), std::string::npos);
+}
+
+TEST(StatGroup, DumpReflectsLiveValues)
+{
+    sim::Counter c;
+    sim::StatGroup group("g");
+    group.addCounter("c", &c);
+    std::ostringstream first;
+    group.dump(first);
+    c.inc(7);
+    std::ostringstream second;
+    group.dump(second);
+    EXPECT_NE(first.str(), second.str());
+    EXPECT_NE(second.str().find("g.c 7"), std::string::npos);
+}
+
+TEST(TextTable, AlignsColumnsAndPrintsAllRows)
+{
+    sim::TextTable table({"Benchmark", "Speedup"});
+    table.addRow({"Delaunay", "4.40"});
+    table.addRow({"Ssca2", "13.90"});
+    std::ostringstream os;
+    table.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("Benchmark"), std::string::npos);
+    EXPECT_NE(out.find("Delaunay"), std::string::npos);
+    EXPECT_NE(out.find("13.90"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTableDeath, WrongArityPanics)
+{
+    sim::TextTable table({"A", "B"});
+    EXPECT_DEATH(table.addRow({"only-one"}), "assertion");
+}
+
+TEST(Format, FmtDoubleAndPercent)
+{
+    EXPECT_EQ(sim::fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(sim::fmtDouble(2.0, 0), "2");
+    EXPECT_EQ(sim::fmtPercent(0.735, 1), "73.5%");
+    EXPECT_EQ(sim::fmtPercent(0.001, 1), "0.1%");
+}
+
+} // namespace

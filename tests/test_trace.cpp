@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for the transaction-lifecycle trace stream.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "runner/experiment.h"
+#include "runner/simulation.h"
+
+namespace {
+
+runner::SimConfig
+tracedConfig(std::ostream *os)
+{
+    runner::RunOptions options;
+    options.txPerThread = 5;
+    runner::SimConfig config =
+        runner::makeConfig("Intruder", cm::CmKind::BfgtsHw, options);
+    config.traceStream = os;
+    return config;
+}
+
+TEST(Trace, EmitsLifecycleEvents)
+{
+    std::ostringstream os;
+    runner::Simulation simulation(tracedConfig(&os));
+    const runner::SimResults r = simulation.run();
+    const std::string out = os.str();
+    EXPECT_NE(out.find(" start"), std::string::npos);
+    EXPECT_NE(out.find(" commit lines="), std::string::npos);
+    // High-contention run: aborts and suspensions appear too.
+    EXPECT_NE(out.find(" abort enemy="), std::string::npos);
+    EXPECT_NE(out.find("suspend"), std::string::npos);
+    // One commit line per commit.
+    std::size_t commits = 0, pos = 0;
+    while ((pos = out.find(" commit ", pos)) != std::string::npos) {
+        ++commits;
+        ++pos;
+    }
+    EXPECT_EQ(commits, r.commits);
+}
+
+TEST(Trace, LinesCarryTickThreadAndSite)
+{
+    std::ostringstream os;
+    runner::Simulation simulation(tracedConfig(&os));
+    simulation.run();
+    std::istringstream in(os.str());
+    std::string line;
+    int checked = 0;
+    while (std::getline(in, line) && checked < 50) {
+        EXPECT_EQ(line.rfind("tick=", 0), 0u) << line;
+        EXPECT_NE(line.find(" thread="), std::string::npos) << line;
+        EXPECT_NE(line.find(" sTx="), std::string::npos) << line;
+        ++checked;
+    }
+    EXPECT_GT(checked, 0);
+}
+
+TEST(Trace, DisabledByDefaultAndCostFree)
+{
+    runner::RunOptions options;
+    options.txPerThread = 5;
+    const runner::SimResults plain =
+        runner::runStamp("Intruder", cm::CmKind::BfgtsHw, options);
+    std::ostringstream os;
+    runner::Simulation traced(tracedConfig(&os));
+    const runner::SimResults with_trace = traced.run();
+    // Tracing must not perturb the simulation.
+    EXPECT_EQ(plain.runtime, with_trace.runtime);
+    EXPECT_EQ(plain.commits, with_trace.commits);
+    EXPECT_EQ(plain.aborts, with_trace.aborts);
+}
+
+} // namespace

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for the LogTM-style undo log.
+ */
+
+#include <gtest/gtest.h>
+
+#include "htm/version_log.h"
+
+namespace {
+
+using htm::VersionLog;
+using htm::VersionLogConfig;
+
+VersionLogConfig
+config()
+{
+    return VersionLogConfig{.appendCost = 4,
+                            .commitCost = 10,
+                            .abortTrapCost = 1000,
+                            .restorePerEntry = 40};
+}
+
+TEST(VersionLog, StartsEmpty)
+{
+    VersionLog log(config());
+    EXPECT_EQ(log.size(), 0u);
+    EXPECT_EQ(log.highWaterMark(), 0u);
+}
+
+TEST(VersionLog, AppendChargesOncePerLine)
+{
+    VersionLog log(config());
+    EXPECT_EQ(log.append(100), 4u);
+    EXPECT_EQ(log.append(100), 0u); // redundant write filtered
+    EXPECT_EQ(log.append(200), 4u);
+    EXPECT_EQ(log.size(), 2u);
+    EXPECT_EQ(log.appends().value(), 2u);
+}
+
+TEST(VersionLog, CommitIsConstantAndResets)
+{
+    VersionLog log(config());
+    for (mem::Addr line = 0; line < 50; ++line)
+        log.append(line);
+    EXPECT_EQ(log.commit(), 10u); // independent of size
+    EXPECT_EQ(log.size(), 0u);
+    EXPECT_EQ(log.commits().value(), 1u);
+}
+
+TEST(VersionLog, AbortCostScalesWithEntries)
+{
+    VersionLog log(config());
+    for (mem::Addr line = 0; line < 10; ++line)
+        log.append(line);
+    EXPECT_EQ(log.abort(), 1000u + 10u * 40u);
+    EXPECT_EQ(log.size(), 0u);
+    EXPECT_EQ(log.restoredEntries().value(), 10u);
+    // An empty-log abort still pays the trap.
+    EXPECT_EQ(log.abort(), 1000u);
+}
+
+TEST(VersionLog, LinesRelogAfterReset)
+{
+    VersionLog log(config());
+    log.append(7);
+    log.commit();
+    // After commit the line must be logged again on the next write.
+    EXPECT_EQ(log.append(7), 4u);
+    log.abort();
+    EXPECT_EQ(log.append(7), 4u);
+}
+
+TEST(VersionLog, HighWaterMarkPersistsAcrossResets)
+{
+    VersionLog log(config());
+    for (mem::Addr line = 0; line < 30; ++line)
+        log.append(line);
+    log.abort();
+    log.append(1);
+    EXPECT_EQ(log.highWaterMark(), 30u);
+}
+
+} // namespace

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Command-line driver: run any (workload, contention manager) cell
+ * of the evaluation with custom machine parameters and print the
+ * full results.
+ *
+ *   bfgts_cli --workload Intruder --cm BFGTS-HW
+ *   bfgts_cli --workload Barnes --cm Backoff --cpus 8 --tpc 2
+ *   bfgts_cli --list
+ *
+ * Options:
+ *   --workload NAME   STAMP or SPLASH2-like benchmark (default Intruder)
+ *   --cm NAME         contention manager display name (default BFGTS-HW)
+ *   --cpus N          number of CPUs (default 16)
+ *   --tpc N           threads per CPU (default 4)
+ *   --tx N            transactions per thread (0 = workload default)
+ *   --seed N          RNG seed (default 1)
+ *   --bloom-bits N    BFGTS Bloom filter size
+ *   --interval N      BFGTS small-tx similarity update interval
+ *   --slots N         BFGTS confidence-table aliasing slots (0 = exact)
+ *   --baseline        also run the single-core baseline and print speedup
+ *   --stats           dump per-component statistics after the run
+ *   --list            list workloads and managers, then exit
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "runner/experiment.h"
+#include "runner/simulation.h"
+#include "workloads/splash2.h"
+#include "workloads/stamp.h"
+
+namespace {
+
+bool
+isSplash2(const std::string &name)
+{
+    for (const std::string &candidate :
+         workloads::splash2BenchmarkNames()) {
+        if (candidate == name)
+            return true;
+    }
+    return false;
+}
+
+void
+listEverything()
+{
+    std::printf("workloads (STAMP):   ");
+    for (const auto &name : workloads::stampBenchmarkNames())
+        std::printf("%s ", name.c_str());
+    std::printf("\nworkloads (SPLASH2): ");
+    for (const auto &name : workloads::splash2BenchmarkNames())
+        std::printf("%s ", name.c_str());
+    std::printf("\nmanagers:            ");
+    for (cm::CmKind kind : cm::extendedCmKinds())
+        std::printf("'%s' ", cm::cmKindName(kind));
+    std::printf("\n");
+}
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--workload NAME] [--cm NAME] [--cpus N] "
+                 "[--tpc N] [--tx N]\n          [--seed N] "
+                 "[--bloom-bits N] [--interval N] [--slots N]\n"
+                 "          [--baseline] [--list]\n",
+                 argv0);
+    std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = "Intruder";
+    std::string manager = "BFGTS-HW";
+    runner::SimConfig config;
+    bool with_baseline = false;
+    bool with_stats = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--list") {
+            listEverything();
+            return 0;
+        } else if (arg == "--workload") {
+            workload = next();
+        } else if (arg == "--cm") {
+            manager = next();
+        } else if (arg == "--cpus") {
+            config.numCpus = std::atoi(next());
+        } else if (arg == "--tpc") {
+            config.threadsPerCpu = std::atoi(next());
+        } else if (arg == "--tx") {
+            config.txPerThreadOverride = std::atoi(next());
+        } else if (arg == "--seed") {
+            config.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--bloom-bits") {
+            config.tuning.bfgts.bloom.numBits =
+                std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--interval") {
+            config.tuning.bfgts.smallTxInterval = std::atoi(next());
+        } else if (arg == "--slots") {
+            config.tuning.bfgts.confTableSlots = std::atoi(next());
+        } else if (arg == "--baseline") {
+            with_baseline = true;
+        } else if (arg == "--stats") {
+            with_stats = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    config.cm = cm::cmKindFromName(manager);
+    if (isSplash2(workload)) {
+        config.workloadFactory = [workload](int threads) {
+            return workloads::makeSplash2Workload(workload, threads);
+        };
+    } else {
+        config.workload = workload; // validated by the factory
+    }
+
+    runner::Simulation simulation(config);
+    const runner::SimResults r = simulation.run();
+
+    std::printf("workload          %s\n", r.workload.c_str());
+    std::printf("manager           %s\n", r.cm.c_str());
+    std::printf("machine           %d CPUs x %d threads\n",
+                config.numCpus, config.threadsPerCpu);
+    std::printf("runtime           %llu cycles\n",
+                static_cast<unsigned long long>(r.runtime));
+    std::printf("commits / aborts  %llu / %llu  (contention %.1f%%)\n",
+                static_cast<unsigned long long>(r.commits),
+                static_cast<unsigned long long>(r.aborts),
+                100.0 * r.contentionRate);
+    std::printf("serializations    %llu\n",
+                static_cast<unsigned long long>(r.serializations));
+    const runner::Breakdown &b = r.breakdown;
+    std::printf("breakdown         nonTx %.1f%%  kernel %.1f%%  tx "
+                "%.1f%%  abort %.1f%%  sched %.1f%%  idle %.1f%%\n",
+                100.0 * b.frac(b.nonTx), 100.0 * b.frac(b.kernel),
+                100.0 * b.frac(b.tx), 100.0 * b.frac(b.aborted),
+                100.0 * b.frac(b.sched), 100.0 * b.frac(b.idle));
+
+    if (with_stats) {
+        std::printf("\n-- component statistics --\n");
+        simulation.dumpStats(std::cout);
+    }
+
+    if (with_baseline) {
+        runner::SimConfig base_config = config;
+        base_config.numCpus = 1;
+        base_config.threadsPerCpu = 1;
+        base_config.cm = cm::CmKind::Backoff;
+        const int per_thread =
+            config.txPerThreadOverride > 0
+                ? config.txPerThreadOverride
+                : [&] {
+                      runner::Simulation probe(config);
+                      return probe.workload().txPerThread();
+                  }();
+        base_config.txPerThreadOverride =
+            per_thread * config.numThreads();
+        runner::Simulation baseline(base_config);
+        const runner::SimResults base = baseline.run();
+        std::printf("baseline          %llu cycles -> speedup %.2fx\n",
+                    static_cast<unsigned long long>(base.runtime),
+                    static_cast<double>(base.runtime)
+                        / static_cast<double>(r.runtime));
+    }
+    return 0;
+}

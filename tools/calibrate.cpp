@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Workload calibration sweep driver.
+ *
+ * This is the tool that fitted the synthetic STAMP presets (see
+ * docs/calibration.md): it grids over the knobs of a candidate
+ * workload shape and prints, per configuration, the Backoff baseline
+ * contention and the speedups of the key managers, so a preset can
+ * be tuned to the paper's published shape.
+ *
+ * The shipped grid sweeps the "hot queue + parallel body" shape that
+ * fits Intruder; edit intruderLike() / the loops to fit other
+ * benchmarks. Not part of the shipped library -- a maintainer tool.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "runner/experiment.h"
+#include "runner/simulation.h"
+#include "workloads/generator.h"
+
+using workloads::SiteParams;
+using workloads::SyntheticParams;
+
+namespace {
+
+/** Queue-plus-body shape: see docs/calibration.md. */
+SyntheticParams
+intruderLike(double queue_weight, double body_frac, double body_wf,
+             int queue_pool, sim::Cycles nontx, sim::Cycles body_work)
+{
+    SyntheticParams params;
+    params.name = "cal";
+    params.txPerThread = 200;
+    params.hotGroupLines = {64, 256};
+
+    SiteParams queue;
+    queue.weight = queue_weight;
+    queue.meanAccesses = 4;
+    queue.accessJitter = 1;
+    queue.similarity = 0.67;
+    queue.workPerAccess = 10;
+    queue.nonTxWork = nontx;
+    queue.hotGroups = {
+        {.group = 0,
+         .frac = 0.8,
+         .writeFraction = 0.9,
+         .stickyFrac = 0.9,
+         .stickyPoolLines = static_cast<std::uint64_t>(queue_pool)}};
+
+    auto body = [&](double sim, double sticky) {
+        SiteParams site;
+        site.weight = 1.5;
+        site.meanAccesses = 8;
+        site.accessJitter = 2;
+        site.similarity = sim;
+        site.workPerAccess = body_work;
+        site.nonTxWork = nontx;
+        site.hotGroups = {{.group = 1,
+                           .frac = body_frac,
+                           .writeFraction = body_wf,
+                           .stickyFrac = sticky,
+                           .stickyPoolLines = 96}};
+        return site;
+    };
+    params.sites = {queue, body(0.40, 0.35), body(0.66, 0.65)};
+    return params;
+}
+
+runner::SimResults
+run(const SyntheticParams &params, cm::CmKind kind, int cpus, int tpc,
+    int tx_per_thread)
+{
+    runner::SimConfig config;
+    config.cm = kind;
+    config.numCpus = cpus;
+    config.threadsPerCpu = tpc;
+    config.txPerThreadOverride = tx_per_thread;
+    SyntheticParams copy = params;
+    config.workloadFactory = [copy](int threads) {
+        return std::make_unique<workloads::SyntheticWorkload>(
+            copy, threads);
+    };
+    runner::Simulation simulation(config);
+    return simulation.run();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("%4s %5s %4s %5s %5s | %6s %6s | %6s %6s %6s\n", "qw",
+                "bfrac", "pool", "nontx", "work", "bkCont", "bkSp",
+                "bfSp", "bfCont", "bf/bk");
+    for (double qw : {2.0, 3.0}) {
+        for (double frac : {0.35}) {
+            for (int pool : {2, 3}) {
+                for (int nontx : {200, 350}) {
+                    for (int work : {30}) {
+                        const auto params = intruderLike(
+                            qw, frac, 0.6, pool, nontx, work);
+                        const auto base =
+                            run(params, cm::CmKind::Backoff, 1, 1,
+                                200 * 64);
+                        const auto bk = run(
+                            params, cm::CmKind::Backoff, 16, 4, 200);
+                        const auto bf = run(
+                            params, cm::CmKind::BfgtsHw, 16, 4, 200);
+                        const double b =
+                            static_cast<double>(base.runtime);
+                        std::printf(
+                            "%4.1f %5.2f %4d %5d %5d | %5.1f%% %6.2f "
+                            "| %6.2f %5.1f%% %6.2f\n",
+                            qw, frac, pool, nontx, work,
+                            100 * bk.contentionRate, b / bk.runtime,
+                            b / bf.runtime, 100 * bf.contentionRate,
+                            static_cast<double>(bk.runtime)
+                                / bf.runtime);
+                        std::fflush(stdout);
+                    }
+                }
+            }
+        }
+    }
+    return 0;
+}
