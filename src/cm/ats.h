@@ -21,7 +21,6 @@
 #define BFGTS_CM_ATS_H
 
 #include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "cm/base.h"

@@ -12,9 +12,8 @@
 #ifndef BFGTS_CM_BACKOFF_H
 #define BFGTS_CM_BACKOFF_H
 
-#include <unordered_map>
-
 #include "cm/base.h"
+#include "sim/det_hash.h"
 
 namespace cm {
 
@@ -59,7 +58,7 @@ class BackoffManager : public ContentionManagerBase
 
   private:
     BackoffConfig config_;
-    std::unordered_map<sim::ThreadId, int> consecutiveAborts_;
+    sim::HashMap<sim::ThreadId, int> consecutiveAborts_;
 };
 
 } // namespace cm

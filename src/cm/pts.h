@@ -24,11 +24,11 @@
 #define BFGTS_CM_PTS_H
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "bloom/signature.h"
 #include "cm/base.h"
+#include "sim/det_hash.h"
 
 namespace cm {
 
@@ -103,8 +103,8 @@ class PtsManager : public ContentionManagerBase
     PtsConfig config_;
     const htm::TxIdSpace &ids_;
     /** Conflict graph: symmetric dTxID-pair -> confidence. */
-    std::unordered_map<std::uint64_t, double> graph_;
-    std::unordered_map<htm::DTxId, DtxStats> stats_;
+    sim::HashMap<std::uint64_t, double> graph_;
+    sim::HashMap<htm::DTxId, DtxStats> stats_;
 };
 
 } // namespace cm

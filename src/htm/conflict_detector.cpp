@@ -45,6 +45,8 @@ ConflictDetector::findConflicts(TxState &tx, mem::Addr line,
     // transaction's Bloom signatures; hits beyond the exact holders
     // are false conflicts (signature aliasing).
     std::vector<TxState *> signature_conflicts;
+    // lint:allow(unordered-iteration): hits are collected and sorted
+    // by dTxID below before anyone sees them.
     for (auto &[other, sigs] : signatures_) {
         if (other == &tx || !other->active)
             continue;
@@ -133,6 +135,8 @@ void
 ConflictDetector::removeTx(TxState &tx)
 {
     signatures_.erase(&tx);
+    // lint:allow(unordered-iteration): per-line erasures commute; the
+    // final registry state is independent of visit order.
     for (mem::Addr line : tx.readSet) {
         auto it = lines_.find(line);
         if (it == lines_.end())
@@ -143,6 +147,7 @@ ConflictDetector::removeTx(TxState &tx)
         if (readers.empty() && it->second.writer == nullptr)
             lines_.erase(it);
     }
+    // lint:allow(unordered-iteration): same -- commuting erasures.
     for (mem::Addr line : tx.writeSet) {
         auto it = lines_.find(line);
         if (it == lines_.end())
@@ -163,6 +168,8 @@ ConflictDetector::consistentWith(
     std::size_t expected_reads = 0;
     std::size_t expected_writes = 0;
     for (const TxState *tx : active) {
+        // lint:allow(unordered-iteration): order-insensitive
+        // membership checks in a test-only consistency sweep.
         for (mem::Addr line : tx->readSet) {
             auto it = lines_.find(line);
             if (it == lines_.end())
@@ -174,6 +181,7 @@ ConflictDetector::consistentWith(
             }
             ++expected_reads;
         }
+        // lint:allow(unordered-iteration): same -- test-only checks.
         for (mem::Addr line : tx->writeSet) {
             auto it = lines_.find(line);
             if (it == lines_.end() || it->second.writer != tx)
@@ -183,6 +191,9 @@ ConflictDetector::consistentWith(
     }
     std::size_t actual_reads = 0;
     std::size_t actual_writes = 0;
+    // lint:allow(unordered-iteration): commutative sums in a
+    // test-only consistency check; no simulated behavior depends on
+    // the order.
     for (const auto &[line, ls] : lines_) {
         actual_reads += ls.readers.size();
         actual_writes += ls.writer != nullptr ? 1 : 0;

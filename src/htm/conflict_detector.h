@@ -24,11 +24,11 @@
 #define BFGTS_HTM_CONFLICT_DETECTOR_H
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "bloom/bloom_filter.h"
 #include "htm/tx_state.h"
+#include "sim/det_hash.h"
 #include "sim/stats.h"
 
 namespace htm {
@@ -170,8 +170,8 @@ class ConflictDetector
     TxSignatures &signaturesFor(TxState &tx);
 
     ConflictPolicy policy_;
-    std::unordered_map<mem::Addr, LineState> lines_;
-    std::unordered_map<TxState *, std::unique_ptr<TxSignatures>>
+    sim::HashMap<mem::Addr, LineState> lines_;
+    sim::HashMap<TxState *, std::unique_ptr<TxSignatures>>
         signatures_;
     sim::Counter conflicts_;
     sim::Counter falseConflicts_;

@@ -14,10 +14,10 @@
 #define BFGTS_HTM_TX_STATE_H
 
 #include <cstdint>
-#include <unordered_set>
 
 #include "htm/tx_id.h"
 #include "mem/addr.h"
+#include "sim/det_hash.h"
 #include "sim/types.h"
 
 namespace htm {
@@ -45,10 +45,10 @@ struct TxState {
     sim::Tick attemptStart = 0;
 
     /** Exact read set (line numbers). */
-    std::unordered_set<mem::Addr> readSet;
+    sim::HashSet<mem::Addr> readSet;
 
     /** Exact write set (line numbers). */
-    std::unordered_set<mem::Addr> writeSet;
+    sim::HashSet<mem::Addr> writeSet;
 
     /** Cycles of useful work done in this attempt (for abort cost). */
     sim::Cycles workDone = 0;
@@ -66,6 +66,8 @@ struct TxState {
         // Sets may overlap (read-then-write lines live in both);
         // count the union. writeSet is usually the smaller.
         std::size_t unique_writes = 0;
+        // lint:allow(unordered-iteration): commutative sum; the
+        // result is independent of visit order.
         for (mem::Addr line : writeSet)
             unique_writes += readSet.count(line) ? 0 : 1;
         return readSet.size() + unique_writes;

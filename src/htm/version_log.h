@@ -19,10 +19,10 @@
 #ifndef BFGTS_HTM_VERSION_LOG_H
 #define BFGTS_HTM_VERSION_LOG_H
 
-#include <unordered_set>
 #include <vector>
 
 #include "mem/addr.h"
+#include "sim/det_hash.h"
 #include "sim/stats.h"
 #include "sim/types.h"
 
@@ -122,7 +122,7 @@ class VersionLog
     }
 
     VersionLogConfig config_;
-    std::unordered_set<mem::Addr> logged_;
+    sim::HashSet<mem::Addr> logged_;
     std::size_t entries_ = 0;
     std::size_t highWater_ = 0;
     sim::Counter appends_;

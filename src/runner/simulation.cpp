@@ -534,12 +534,19 @@ Simulation::doCommitDone(Worker &worker)
     std::vector<mem::Addr> rw_lines;
     rw_lines.reserve(worker.tx.readSet.size()
                      + worker.tx.writeSet.size());
+    // lint:allow(unordered-iteration): collected into rw_lines and
+    // sorted below, so hash order never reaches the CM or stats.
     for (mem::Addr line : worker.tx.readSet)
         rw_lines.push_back(line);
+    // lint:allow(unordered-iteration): same -- sorted below.
     for (mem::Addr line : worker.tx.writeSet) {
         if (!worker.tx.readSet.count(line))
             rw_lines.push_back(line);
     }
+    // CMs receive the commit set in line-number order, not the hash
+    // order of the exact sets, so their decisions are reproducible
+    // across standard libraries and hash seeds.
+    std::sort(rw_lines.begin(), rw_lines.end());
 
     detector_->removeTx(worker.tx);
     runningTx_.erase(worker.tx.dTxId);

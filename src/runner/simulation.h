@@ -27,12 +27,13 @@
 
 #include <memory>
 #include <ostream>
-#include <unordered_set>
+#include <set>
 #include <vector>
 
 #include "htm/version_log.h"
 #include "runner/config.h"
 #include "runner/results.h"
+#include "sim/det_hash.h"
 #include "sim/event_queue.h"
 #include "sim/random.h"
 #include "sim/stats.h"
@@ -98,8 +99,10 @@ class Simulation
         bool committing = false;
         sim::EventId pendingEvent = sim::kNoEvent;
         sim::Cycles attemptCycles = 0;
-        /** Enemies already reported to the CM in this attempt. */
-        std::unordered_set<htm::DTxId> reportedEnemies;
+        /** Enemies already reported to the CM in this attempt.
+         *  Ordered by dTxID so any future iteration (e.g. picking a
+         *  victim among enemies) is deterministic by construction. */
+        std::set<htm::DTxId> reportedEnemies;
         Breakdown buckets;
     };
 
@@ -154,7 +157,9 @@ class Simulation
     sim::Rng rng_;
 
     std::vector<Worker> workers_;
-    std::unordered_set<htm::DTxId> runningTx_;
+    /** Active transactions, ordered by dTxID: victim/enemy scans over
+     *  this set resolve ties deterministically, never in hash order. */
+    std::set<htm::DTxId> runningTx_;
     std::uint64_t nextTimestamp_ = 1;
     bool ran_ = false;
 
@@ -167,7 +172,7 @@ class Simulation
     int finishedThreads_ = 0;
 
     struct SimTrack {
-        std::unordered_set<mem::Addr> lastSet;
+        sim::HashSet<mem::Addr> lastSet;
         double avgSize = 0.0;
     };
     std::vector<SimTrack> simTrack_;          // per dTxId dense index

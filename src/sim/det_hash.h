@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Seed-perturbable hashing for the simulator's unordered containers.
+ *
+ * Simulation results must never depend on the iteration order of a
+ * hash container: that order is unspecified, varies across standard
+ * library versions, and silently couples results to memory layout.
+ * Every unordered container holding simulation-affecting state uses
+ * sim::HashSet / sim::HashMap, whose hash mixes in a process-wide
+ * seed taken from the BFGTS_HASH_SEED environment variable (default
+ * 0). Changing the seed scrambles bucket order without changing set
+ * contents, so a test can run the same simulation under two seeds and
+ * assert bit-identical results -- proving no code path reads hash
+ * order (see tests/test_determinism.cpp and the lint rule
+ * `unordered-iteration` in tools/lint/determinism_lint.py).
+ *
+ * The seed must only change while no seeded container holds elements
+ * (existing buckets are not rehashed); tests set it between
+ * Simulation instances.
+ */
+
+#ifndef BFGTS_SIM_DET_HASH_H
+#define BFGTS_SIM_DET_HASH_H
+
+#include <cstdint>
+#include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sim/random.h"
+
+namespace sim {
+
+namespace detail {
+
+inline std::uint64_t
+initialHashSeed()
+{
+    // lint:allow(banned-random): getenv is read once at startup to
+    // *select* the hash seed; the value itself never feeds simulated
+    // behavior (results are asserted identical across seeds).
+    const char *env = std::getenv("BFGTS_HASH_SEED");
+    if (env == nullptr)
+        return 0;
+    return std::strtoull(env, nullptr, 0);
+}
+
+inline std::uint64_t &
+hashSeedState()
+{
+    static std::uint64_t seed = initialHashSeed();
+    return seed;
+}
+
+} // namespace detail
+
+/** The process-wide hash perturbation seed (from BFGTS_HASH_SEED). */
+inline std::uint64_t
+hashSeed()
+{
+    return detail::hashSeedState();
+}
+
+/**
+ * Override the hash seed (tests only). @pre no sim::HashSet /
+ * sim::HashMap instance currently holds elements.
+ */
+inline void
+setHashSeed(std::uint64_t seed)
+{
+    detail::hashSeedState() = seed;
+}
+
+/** Seed-perturbed strong hash for integral keys. */
+template <typename T>
+struct SeededHash {
+    std::size_t
+    operator()(const T &value) const
+    {
+        return static_cast<std::size_t>(
+            mix64(static_cast<std::uint64_t>(value) ^ hashSeed()));
+    }
+};
+
+/** Pointer keys hash by address (membership/lookup use only --
+ *  iterating a pointer-keyed container is still order-hazardous and
+ *  must be sorted before use; the linter enforces this). */
+template <typename T>
+struct SeededHash<T *> {
+    std::size_t
+    operator()(T *value) const
+    {
+        return static_cast<std::size_t>(
+            mix64(reinterpret_cast<std::uintptr_t>(value)
+                  ^ hashSeed()));
+    }
+};
+
+/** Hash set whose bucket order is scrambled by BFGTS_HASH_SEED. */
+template <typename T>
+using HashSet = std::unordered_set<T, SeededHash<T>>;
+
+/** Hash map whose bucket order is scrambled by BFGTS_HASH_SEED. */
+template <typename K, typename V>
+using HashMap = std::unordered_map<K, V, SeededHash<K>>;
+
+} // namespace sim
+
+#endif // BFGTS_SIM_DET_HASH_H

@@ -14,9 +14,9 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/det_hash.h"
 #include "sim/types.h"
 
 namespace sim {
@@ -112,7 +112,7 @@ class EventQueue
     EventId nextId_ = 1;
     std::size_t live_ = 0;
     std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-    std::unordered_set<EventId> cancelled_;
+    sim::HashSet<EventId> cancelled_;
 };
 
 } // namespace sim

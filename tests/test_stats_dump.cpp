@@ -76,8 +76,9 @@ TEST(StatsDump, UndoLogActivityTracksWrites)
     EXPECT_GT(statValue(dump, "htm.undoLog.appends"),
               results.commits);
     // Restored entries only come from aborts.
-    if (results.aborts == 0)
+    if (results.aborts == 0) {
         EXPECT_EQ(statValue(dump, "htm.undoLog.restoredEntries"), 0u);
+    }
 }
 
 TEST(StatsDump, StableAcrossIdenticalRuns)

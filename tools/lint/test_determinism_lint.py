@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Self-test for determinism_lint.py.
+
+Runs the linter over tools/lint/testdata/src -- fixture files with a
+known set of violations and suppressions -- and asserts the exact
+findings (file, line, rule). Any drift in the rule engine (missed
+finding, new false positive, broken suppression parsing) fails this
+test. Run via ``ctest -R lint_selftest`` or directly.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+LINTER = os.path.join(HERE, "determinism_lint.py")
+TESTDATA = os.path.join(HERE, "testdata", "src")
+
+# Every finding the fixtures must produce: (path, line, rule).
+EXPECTED = [
+    ("cm/bad_iter.h", 20, "unordered-iteration"),
+    ("cm/bad_iter.h", 28, "unordered-iteration"),
+    ("cm/bad_iter.h", 35, "bad-suppression"),
+    ("cm/bad_iter.h", 36, "unordered-iteration"),
+    ("cm/bad_iter.h", 44, "bad-suppression"),
+    ("cm/bad_iter.h", 45, "unordered-iteration"),
+    ("htm/ptr_key.h", 13, "pointer-keyed-ordered"),
+    ("htm/ptr_key.h", 14, "pointer-keyed-ordered"),
+    ("runner/bad_random.cpp", 14, "banned-random"),
+    ("runner/bad_random.cpp", 15, "banned-random"),
+    ("runner/bad_random.cpp", 17, "banned-random"),
+    ("runner/bad_random.cpp", 19, "banned-random"),
+    ("runner/bad_random.cpp", 22, "banned-random"),
+    ("runner/bad_random.cpp", 24, "banned-random"),
+]
+
+FINDING_RE = re.compile(r"^(.*?):(\d+): \[([\w-]+)\]")
+
+
+def run_linter(root):
+    proc = subprocess.run(
+        [sys.executable, LINTER, "--root", root],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    findings = []
+    for line in proc.stdout.splitlines():
+        match = FINDING_RE.match(line)
+        if match:
+            findings.append((match.group(1).replace(os.sep, "/"),
+                             int(match.group(2)), match.group(3)))
+    return proc.returncode, findings
+
+
+def fail(message):
+    print("FAIL: %s" % message)
+    sys.exit(1)
+
+
+def main():
+    code, findings = run_linter(TESTDATA)
+    if code != 1:
+        fail("expected exit code 1 on fixtures with findings, got %d"
+             % code)
+
+    expected = sorted(EXPECTED)
+    actual = sorted(findings)
+    if expected != actual:
+        missing = [f for f in expected if f not in actual]
+        extra = [f for f in actual if f not in expected]
+        for item in missing:
+            print("  missing: %s:%d [%s]" % item)
+        for item in extra:
+            print("  unexpected: %s:%d [%s]" % item)
+        fail("fixture findings diverge (%d expected, %d actual)"
+             % (len(expected), len(actual)))
+
+    # A clean subtree must exit 0 with no findings: point the linter
+    # at the fixture directory that is entirely violation-free.
+    clean_root = os.path.join(TESTDATA, "bloom")
+    code, findings = run_linter(clean_root)
+    if code != 0 or findings:
+        fail("clean subtree should exit 0 with no findings, got "
+             "exit=%d findings=%r" % (code, findings))
+
+    # --list-rules must advertise every rule the fixtures exercise.
+    proc = subprocess.run(
+        [sys.executable, LINTER, "--list-rules"],
+        stdout=subprocess.PIPE, text=True)
+    rules = set(proc.stdout.split())
+    needed = {rule for _, _, rule in EXPECTED}
+    if not needed.issubset(rules):
+        fail("--list-rules is missing %r" % (needed - rules))
+
+    print("PASS: %d fixture findings matched exactly" % len(expected))
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

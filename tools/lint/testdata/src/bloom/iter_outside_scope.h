@@ -1,0 +1,24 @@
+// Fixture: unordered iteration in a directory that is NOT
+// simulation-affecting (bloom/ is a pure data-structure library).
+// The unordered-iteration rule is scoped to sim-affecting dirs, so
+// expected findings: 0.
+
+#ifndef LINT_TESTDATA_ITER_OUTSIDE_SCOPE_H
+#define LINT_TESTDATA_ITER_OUTSIDE_SCOPE_H
+
+#include <unordered_set>
+
+struct ExactSet {
+    std::unordered_set<unsigned long> keys;
+
+    unsigned long
+    count() const
+    {
+        unsigned long n = 0;
+        for (unsigned long key : keys)
+            n += key != 0 ? 1 : 0;
+        return n;
+    }
+};
+
+#endif // LINT_TESTDATA_ITER_OUTSIDE_SCOPE_H

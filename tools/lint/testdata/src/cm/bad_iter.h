@@ -1,0 +1,51 @@
+// Fixture: unordered iteration hazards in a simulation-affecting
+// directory. Expected findings: 4x unordered-iteration,
+// 2x bad-suppression (an allow without a justification and an allow
+// naming an unknown rule; neither counts as a suppression nor hides
+// the loop it precedes).
+
+#ifndef LINT_TESTDATA_BAD_ITER_H
+#define LINT_TESTDATA_BAD_ITER_H
+
+#include <unordered_map>
+#include <unordered_set>
+
+struct VictimTable {
+    std::unordered_set<int> enemies;
+    std::unordered_map<int, double> weights;
+
+    int
+    firstEnemy() const
+    {
+        for (int enemy : enemies) // finding: range-for, hash order
+            return enemy;
+        return -1;
+    }
+
+    double
+    firstWeight() const
+    {
+        auto it = weights.begin(); // finding: iterator, hash order
+        return it == weights.end() ? 0.0 : it->second;
+    }
+
+    int
+    badlySuppressed() const
+    {
+        // lint:allow(unordered-iteration)
+        for (int enemy : enemies) // finding survives: no justification
+            return enemy + 1;
+        return -1;
+    }
+
+    int
+    typoSuppressed() const
+    {
+        // lint:allow(unordered-itration): rule name is misspelled
+        for (int enemy : enemies) // finding survives: unknown rule
+            return enemy + 2;
+        return -1;
+    }
+};
+
+#endif // LINT_TESTDATA_BAD_ITER_H

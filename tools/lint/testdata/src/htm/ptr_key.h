@@ -1,0 +1,18 @@
+// Fixture: pointer-keyed ordered containers. Expected findings:
+// 2x pointer-keyed-ordered. The int-keyed set is fine.
+
+#ifndef LINT_TESTDATA_PTR_KEY_H
+#define LINT_TESTDATA_PTR_KEY_H
+
+#include <map>
+#include <set>
+
+struct TxRecord;
+
+struct Registry {
+    std::set<TxRecord *> live;             // finding: address order
+    std::map<TxRecord *, int> priorities;  // finding: address order
+    std::set<int> byId;                    // ok: stable key
+};
+
+#endif // LINT_TESTDATA_PTR_KEY_H

@@ -1,0 +1,29 @@
+// Fixture: every class of banned ambient randomness. Expected
+// findings: 6x banned-random (rand, random_device, time, clock::now,
+// mt19937, getenv). The srand call inside the string literal and the
+// "time (" in this comment must NOT be flagged.
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned long
+entropySoup()
+{
+    unsigned long x = static_cast<unsigned long>(rand()); // finding
+    std::random_device dev;                               // finding
+    x += dev();
+    x += static_cast<unsigned long>(time(nullptr)); // finding
+    x += static_cast<unsigned long>(
+        std::chrono::steady_clock::now() // finding
+            .time_since_epoch()
+            .count());
+    std::mt19937 gen(12345); // finding: ad-hoc seeding
+    x += gen();
+    const char *home = std::getenv("HOME"); // finding
+    x += home != nullptr ? 1u : 0u;
+    const char *decoy = "srand(42) inside a string is fine";
+    x += decoy[0] != '\0' ? 1u : 0u;
+    return x;
+}

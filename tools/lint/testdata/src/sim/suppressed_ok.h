@@ -1,0 +1,35 @@
+// Fixture: correctly suppressed findings and out-of-scope patterns.
+// Expected findings: 0.
+
+#ifndef LINT_TESTDATA_SUPPRESSED_OK_H
+#define LINT_TESTDATA_SUPPRESSED_OK_H
+
+#include <unordered_set>
+#include <vector>
+
+struct Footprint {
+    std::unordered_set<unsigned long> lines;
+    std::vector<int> order;
+
+    unsigned long
+    checksum() const
+    {
+        unsigned long sum = 0;
+        // lint:allow(unordered-iteration): commutative sum; the
+        // result cannot depend on visit order.
+        for (unsigned long line : lines)
+            sum += line;
+        return sum;
+    }
+
+    int
+    firstOrdered() const
+    {
+        // A vector sharing a hazard-free name must not be flagged.
+        for (int v : order)
+            return v;
+        return -1;
+    }
+};
+
+#endif // LINT_TESTDATA_SUPPRESSED_OK_H

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Run clang-tidy (config: repo-root .clang-tidy) over every source
+# file in the compile database.
+#
+# Usage: tools/run_clang_tidy.sh [build-dir]
+#   build-dir  Directory containing compile_commands.json
+#              (default: build). Configure with
+#              -DCMAKE_EXPORT_COMPILE_COMMANDS=ON -- the top-level
+#              CMakeLists forces this on.
+#
+# Environment:
+#   CLANG_TIDY  clang-tidy binary to use (default: clang-tidy).
+#
+# Exit status: 0 clean, 1 findings, 77 clang-tidy or the compile
+# database is unavailable (ctest treats 77 as SKIP, so machines
+# without LLVM never fail the suite -- CI installs it and does).
+set -u
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build}"
+CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
+
+if ! command -v "${CLANG_TIDY}" >/dev/null 2>&1; then
+    echo "run_clang_tidy: ${CLANG_TIDY} not found; skipping" >&2
+    exit 77
+fi
+if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
+    echo "run_clang_tidy: no compile_commands.json in ${BUILD_DIR};" \
+         "configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+    exit 77
+fi
+
+# Every first-party translation unit in the database (skip
+# gtest/benchmark glue that cmake may add).
+mapfile -t FILES < <(
+    python3 - "$BUILD_DIR/compile_commands.json" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as handle:
+    db = json.load(handle)
+seen = []
+for entry in db:
+    path = entry["file"]
+    if "/src/" in path and path not in seen:
+        seen.append(path)
+print("\n".join(seen))
+PY
+)
+
+if [ "${#FILES[@]}" -eq 0 ]; then
+    echo "run_clang_tidy: compile database lists no src/ files" >&2
+    exit 77
+fi
+
+echo "run_clang_tidy: checking ${#FILES[@]} translation units"
+STATUS=0
+for file in "${FILES[@]}"; do
+    if ! "${CLANG_TIDY}" -p "${BUILD_DIR}" --quiet "${file}"; then
+        STATUS=1
+    fi
+done
+exit "${STATUS}"
