@@ -12,11 +12,14 @@
 #define BFGTS_BENCH_BENCH_UTIL_H
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "runner/experiment.h"
+#include "sim/json.h"
 #include "sim/stats.h"
 #include "workloads/stamp.h"
 
@@ -66,6 +69,133 @@ banner(const std::string &title)
 {
     std::cout << "\n==== " << title << " ====\n\n";
 }
+
+/**
+ * Machine-readable bench output (docs/observability.md).
+ *
+ * Benches that support it construct a JsonReporter from argv; when
+ * the binary was invoked with `--json [FILE]` the reporter collects
+ * one row of named cells per result and write() emits a
+ * schema-versioned bfgts-obs-v1 "bench" document (default file
+ * BENCH_<name>.json). Without --json everything is a no-op, so the
+ * human-readable tables stay the default interface.
+ */
+class JsonReporter
+{
+  public:
+    JsonReporter(std::string bench_name, int argc, char **argv)
+        : name_(std::move(bench_name))
+    {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg != "--json")
+                continue;
+            enabled_ = true;
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                path_ = argv[++i];
+        }
+        if (enabled_ && path_.empty())
+            path_ = "BENCH_" + name_ + ".json";
+    }
+
+    bool enabled() const { return enabled_; }
+    const std::string &path() const { return path_; }
+
+    /** One result row under construction; cells keep call order. */
+    class Row
+    {
+      public:
+        Row &
+        set(const std::string &key, const std::string &v)
+        {
+            cells_.push_back({key, false, 0.0, v});
+            return *this;
+        }
+
+        Row &
+        set(const std::string &key, const char *v)
+        {
+            return set(key, std::string(v));
+        }
+
+        Row &
+        set(const std::string &key, double v)
+        {
+            cells_.push_back({key, true, v, {}});
+            return *this;
+        }
+
+        Row &
+        set(const std::string &key, std::uint64_t v)
+        {
+            return set(key, static_cast<double>(v));
+        }
+
+      private:
+        friend class JsonReporter;
+        struct Cell {
+            std::string key;
+            bool isNumber;
+            double num;
+            std::string str;
+        };
+        std::vector<Cell> cells_;
+    };
+
+    /** Append and return a fresh row (no-op storage when disabled). */
+    Row &
+    addRow()
+    {
+        rows_.emplace_back();
+        return rows_.back();
+    }
+
+    /**
+     * Write the document (if --json was given). Returns false and
+     * prints to stderr when the file cannot be opened.
+     */
+    bool
+    write() const
+    {
+        if (!enabled_)
+            return true;
+        std::ofstream os(path_);
+        if (!os) {
+            std::cerr << "cannot open " << path_ << "\n";
+            return false;
+        }
+        sim::JsonWriter jw(os);
+        jw.beginObject();
+        jw.kv("schema", "bfgts-obs-v1");
+        jw.kv("kind", "bench");
+        jw.kv("name", name_);
+        jw.kv("git", sim::buildGitDescribe());
+        jw.beginObject("options");
+        jw.kv("quick", quickMode());
+        jw.endObject();
+        jw.beginArray("rows");
+        for (const Row &row : rows_) {
+            jw.beginObject();
+            for (const Row::Cell &cell : row.cells_) {
+                if (cell.isNumber)
+                    jw.kv(cell.key, cell.num);
+                else
+                    jw.kv(cell.key, cell.str);
+            }
+            jw.endObject();
+        }
+        jw.endArray();
+        jw.endObject();
+        std::cout << "wrote " << path_ << "\n";
+        return true;
+    }
+
+  private:
+    std::string name_;
+    std::string path_;
+    bool enabled_ = false;
+    std::vector<Row> rows_;
+};
 
 } // namespace bench
 

@@ -12,8 +12,9 @@
 #include "bench_util.h"
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonReporter reporter("fig5_breakdown", argc, argv);
     const auto options = bench::defaultOptions();
     const std::vector<cm::CmKind> managers{
         cm::CmKind::Pts, cm::CmKind::Ats, cm::CmKind::BfgtsSw,
@@ -35,6 +36,18 @@ main()
             const runner::SimResults r =
                 runner::runStamp(name, kind, options);
             const runner::Breakdown &b = r.breakdown;
+            const double norm =
+                static_cast<double>(r.runtime) / base * 16.0;
+            reporter.addRow()
+                .set("benchmark", name)
+                .set("manager", cm::cmKindName(kind))
+                .set("nonTxFrac", b.frac(b.nonTx))
+                .set("kernelFrac", b.frac(b.kernel))
+                .set("txFrac", b.frac(b.tx))
+                .set("abortedFrac", b.frac(b.aborted))
+                .set("schedFrac", b.frac(b.sched))
+                .set("idleFrac", b.frac(b.idle))
+                .set("normRuntime", norm);
             table.addRow(
                 {first ? name : "", cm::cmKindName(kind),
                  sim::fmtPercent(b.frac(b.nonTx), 1),
@@ -43,9 +56,7 @@ main()
                  sim::fmtPercent(b.frac(b.aborted), 1),
                  sim::fmtPercent(b.frac(b.sched), 1),
                  sim::fmtPercent(b.frac(b.idle), 1),
-                 sim::fmtDouble(
-                     static_cast<double>(r.runtime) / base * 16.0,
-                     2)});
+                 sim::fmtDouble(norm, 2)});
             first = false;
         }
     }
@@ -53,5 +64,7 @@ main()
     std::cout << "\nNormRuntime = parallel runtime / single-core "
                  "runtime x 16 (lower is better; 1.0 = perfect "
                  "16-way scaling).\n";
+    if (!reporter.write())
+        return 1;
     return 0;
 }

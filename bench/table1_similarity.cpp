@@ -11,8 +11,9 @@
 #include "bench_util.h"
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonReporter reporter("table1_similarity", argc, argv);
     const auto options = bench::defaultOptions();
     bench::banner("Table 1: conflict graph and per-site similarity "
                   "(measured | paper)");
@@ -40,6 +41,17 @@ main()
                 if (targets.conflictEdges.count(edge))
                     paper << other << ' ';
             }
+            reporter.addRow()
+                .set("benchmark", name)
+                .set("sTx", static_cast<double>(site))
+                .set("conflictsMeasured", measured.str())
+                .set("conflictsPaper", paper.str())
+                .set("similarityMeasured",
+                     results.similarityPerSite
+                         [static_cast<std::size_t>(site)])
+                .set("similarityPaper",
+                     targets.similarity
+                         [static_cast<std::size_t>(site)]);
             table.addRow(
                 {site == 0 ? name : "", std::to_string(site),
                  measured.str(), paper.str(),
@@ -52,5 +64,7 @@ main()
         }
     }
     table.print(std::cout);
+    if (!reporter.write())
+        return 1;
     return 0;
 }

@@ -133,6 +133,7 @@ BfgtsManager::writeConfidence(htm::STxId row, htm::STxId col,
                          * static_cast<std::size_t>(numSlots())
                      + static_cast<std::size_t>(slot_col);
     conf_[index] = std::clamp(conf_[index] + delta, 0.0, 255.0);
+    confidenceHist_.sample(conf_[index]);
     // The main processor wrote a confidence entry; the predictors'
     // confidence caches snoop the invalidation (and refetch). The
     // physical (aliased) slot is what lives at the cached address.
@@ -356,6 +357,7 @@ BfgtsManager::onTxCommit(const TxInfo &tx,
         if (self.lastBloom) {
             const double new_sim = bloom::signatureSimilarity(
                 *n_bloom, *self.lastBloom, self.avgSize);
+            similarityHist_.sample(new_sim);
             self.similarity = 0.5 * (self.similarity + new_sim);
         }
     } else {

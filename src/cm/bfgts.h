@@ -193,6 +193,18 @@ class BfgtsManager : public ContentionManagerBase
         return skippedSimUpdates_;
     }
 
+    /** Distribution of freshly measured similarities (Eq. 4). */
+    const sim::Histogram &similarityHist() const
+    {
+        return similarityHist_;
+    }
+
+    /** Distribution of confidence values after each table write. */
+    const sim::Histogram &confidenceHist() const
+    {
+        return confidenceHist_;
+    }
+
     const BfgtsConfig &config() const { return config_; }
 
   private:
@@ -243,6 +255,12 @@ class BfgtsManager : public ContentionManagerBase
     std::vector<double> pressure_;
     sim::Counter gatedBegins_;
     sim::Counter skippedSimUpdates_;
+    /** Fresh Eq.-4 similarity per update, 20 buckets over [0,1). */
+    sim::Histogram similarityHist_ =
+        sim::Histogram::makeLinear(0.0, 1.0, 20);
+    /** Post-write confidence values, 16 buckets over [0,256). */
+    sim::Histogram confidenceHist_ =
+        sim::Histogram::makeLinear(0.0, 256.0, 16);
 };
 
 } // namespace cm

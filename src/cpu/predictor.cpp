@@ -26,6 +26,7 @@ PredictorSystem::broadcastBegin(sim::CpuId cpu, htm::DTxId dtx)
     sim_assert(cpu >= 0 && cpu < numCpus_);
     for (Unit &unit : units_)
         unit.cpuTable[static_cast<std::size_t>(cpu)] = dtx;
+    cpuTableUpdates_.inc();
 }
 
 void
@@ -34,6 +35,7 @@ PredictorSystem::broadcastEnd(sim::CpuId cpu)
     sim_assert(cpu >= 0 && cpu < numCpus_);
     for (Unit &unit : units_)
         unit.cpuTable[static_cast<std::size_t>(cpu)] = htm::kNoTx;
+    cpuTableUpdates_.inc();
 }
 
 mem::Addr
@@ -58,6 +60,7 @@ PredictorSystem::onConfidenceWrite(htm::STxId row, htm::STxId col)
         units_[static_cast<std::size_t>(cpu)].cache->invalidate(
             confAddr(cpu, row, col));
     }
+    snoopInvalidations_.inc();
 }
 
 PredictResult

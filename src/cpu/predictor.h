@@ -127,6 +127,18 @@ class PredictorSystem
         return conflictsPredicted_;
     }
 
+    /** Confidence-write snoops broadcast to the caches. */
+    const sim::Counter &snoopInvalidations() const
+    {
+        return snoopInvalidations_;
+    }
+
+    /** CPU Table updates from begin/end broadcasts. */
+    const sim::Counter &cpuTableUpdates() const
+    {
+        return cpuTableUpdates_;
+    }
+
   private:
     struct Unit {
         std::vector<htm::DTxId> cpuTable;
@@ -143,6 +155,8 @@ class PredictorSystem
     std::vector<Unit> units_;
     sim::Counter predictions_;
     sim::Counter conflictsPredicted_;
+    sim::Counter snoopInvalidations_;
+    sim::Counter cpuTableUpdates_;
 };
 
 } // namespace cpu

@@ -103,6 +103,7 @@ ConflictDetector::access(TxState &tx, mem::Addr line, bool is_write,
     }
 
     conflicts_.inc();
+    nackRetryHist_.sample(static_cast<double>(stall_retries));
 
     // LogTM-flavored: the requester stalls and retries (the holder
     // NACKs it), hoping the holder finishes. When the stall budget

@@ -144,6 +144,16 @@ class ConflictDetector
         return falseConflicts_;
     }
 
+    /**
+     * Distribution of consecutive NACK retries a requester had
+     * already suffered each time a conflict was resolved (how long
+     * stalls last before resolution or escalation).
+     */
+    const sim::Histogram &nackRetryHist() const
+    {
+        return nackRetryHist_;
+    }
+
     /** Sanity check (tests): registry matches every active tx's sets. */
     bool consistentWith(const std::vector<TxState *> &active) const;
 
@@ -175,6 +185,7 @@ class ConflictDetector
         signatures_;
     sim::Counter conflicts_;
     sim::Counter falseConflicts_;
+    sim::Histogram nackRetryHist_ = sim::Histogram::makeLog2(12);
 };
 
 } // namespace htm

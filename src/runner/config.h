@@ -22,6 +22,7 @@
 #include "htm/version_log.h"
 #include "mem/mem_system.h"
 #include "os/scheduler.h"
+#include "sim/trace.h"
 #include "workloads/workload.h"
 
 namespace runner {
@@ -94,11 +95,12 @@ struct SimConfig {
 
     /**
      * When set, every transaction-lifecycle event (begin decision,
-     * start, conflict, abort, commit) is written here as one line:
-     * "tick=<n> thread=<t> <event> ...". For debugging and tests;
-     * adds no simulated cost.
+     * start, conflict, abort, commit, rollback) is emitted here as a
+     * structured sim::TraceRecord; the sink filters by category and
+     * renders text or JSONL (docs/observability.md). For debugging
+     * and tests; adds no simulated cost.
      */
-    std::ostream *traceStream = nullptr;
+    sim::TraceSink *traceSink = nullptr;
 
     /** Total software threads. */
     int

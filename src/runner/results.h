@@ -51,6 +51,54 @@ struct Breakdown {
     }
 };
 
+/**
+ * Begin-time conflict-prediction quality, measured against the exact
+ * read/write sets the runner keeps (docs/observability.md).
+ *
+ * A "prediction" is a begin decision that serialized the transaction
+ * behind a running enemy. At the serialized attempt's commit the
+ * runner intersects its exact commit set with the enemy's last
+ * committed set: overlap means the stall avoided a certain conflict
+ * (true positive); no overlap means the enemy committed clean and
+ * the stall was wasted (false positive). An abort of an attempt that
+ * was never serialized is a missed prediction (false negative).
+ */
+struct PredictionQuality {
+    /** Begin decisions that serialized (predicted-conflict -> stall). */
+    std::uint64_t predictedStalls = 0;
+    /** Serialized attempt committed, sets overlapped (stall-avoided-
+     *  abort). */
+    std::uint64_t truePositives = 0;
+    /** Serialized attempt committed, enemy's set was disjoint
+     *  (stall-but-enemy-committed-clean). */
+    std::uint64_t falsePositives = 0;
+    /** Abort of an attempt no prediction had serialized. */
+    std::uint64_t falseNegatives = 0;
+    /** Serialized attempt aborted anyway (conflict was real but the
+     *  stall did not prevent it). */
+    std::uint64_t predictedAborts = 0;
+
+    /** TP / (TP + FP); 0 when no classified predictions. */
+    double
+    precision() const
+    {
+        const std::uint64_t denom = truePositives + falsePositives;
+        return denom == 0 ? 0.0
+                          : static_cast<double>(truePositives)
+                                / static_cast<double>(denom);
+    }
+
+    /** TP / (TP + FN); 0 when there was nothing to catch. */
+    double
+    recall() const
+    {
+        const std::uint64_t denom = truePositives + falseNegatives;
+        return denom == 0 ? 0.0
+                          : static_cast<double>(truePositives)
+                                / static_cast<double>(denom);
+    }
+};
+
 /** Everything one simulation run reports. */
 struct SimResults {
     std::string workload;
@@ -72,6 +120,9 @@ struct SimResults {
     double contentionRate = 0.0;
 
     Breakdown breakdown;
+
+    /** Begin-time prediction quality (aggregate over all sites). */
+    PredictionQuality prediction;
 
     /** Measured average similarity per static transaction site
      *  (Table 1), from exact read/write sets. */

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "cm/bfgts.h"
+#include "sim/json.h"
 #include "sim/logging.h"
 #include "workloads/stamp.h"
 
@@ -73,6 +75,8 @@ Simulation::Simulation(const SimConfig &config)
     simTrack_.resize(static_cast<std::size_t>(ids_->numDynamicTx()));
     siteSim_.resize(
         static_cast<std::size_t>(workload_->numStaticTx()));
+    sitePrediction_.resize(
+        static_cast<std::size_t>(workload_->numStaticTx()));
 
     sched_->setDispatchFn([this](sim::ThreadId tid) {
         step(workers_[static_cast<std::size_t>(tid)]);
@@ -82,17 +86,25 @@ Simulation::Simulation(const SimConfig &config)
 Simulation::~Simulation() = default;
 
 void
-Simulation::trace(const Worker &worker, const char *event,
-                  const std::string &detail)
+Simulation::trace(const Worker &worker, sim::TraceCategory category,
+                  const char *event,
+                  std::vector<std::pair<std::string, std::string>>
+                      details)
 {
-    if (config_.traceStream == nullptr)
+    if (config_.traceSink == nullptr
+        || !config_.traceSink->wants(category)) {
         return;
-    *config_.traceStream
-        << "tick=" << events_.curTick() << " thread=" << worker.tid
-        << " sTx=" << ids_->staticOf(worker.tx.dTxId) << ' ' << event;
-    if (!detail.empty())
-        *config_.traceStream << ' ' << detail;
-    *config_.traceStream << '\n';
+    }
+    sim::TraceRecord record;
+    record.tick = events_.curTick();
+    record.cpu = worker.tx.cpu;
+    record.thread = worker.tid;
+    record.sTx = ids_->staticOf(worker.tx.dTxId);
+    record.dTx = static_cast<std::int64_t>(worker.tx.dTxId);
+    record.category = category;
+    record.event = event;
+    record.details = std::move(details);
+    config_.traceSink->emit(record);
 }
 
 cm::TxInfo
@@ -265,7 +277,13 @@ Simulation::doTxBegin(Worker &worker)
 
     switch (decision.action) {
       case cm::BeginAction::Proceed: {
-        trace(worker, "start");
+        // The attempt that is about to run inherits whatever enemy
+        // the most recent begin decision serialized behind (kNoTx if
+        // the CM let it straight through); the commit/abort paths
+        // classify the prediction against it.
+        worker.attemptSerializedOn = worker.lastSerializedOn;
+        worker.lastSerializedOn = htm::kNoTx;
+        trace(worker, sim::TraceCategory::Tx, "start");
         worker.tx.active = true;
         worker.tx.attemptStart = events_.curTick();
         worker.accessIndex = 0;
@@ -280,8 +298,13 @@ Simulation::doTxBegin(Worker &worker)
         return false;
       }
       case cm::BeginAction::StallOn: {
-        trace(worker, "suspend-stall",
-              "on=" + std::to_string(decision.waitOn));
+        sitePrediction_[static_cast<std::size_t>(info.sTx)]
+            .predictedStalls.inc();
+        worker.lastSerializedOn = decision.waitOn;
+        trace(worker, sim::TraceCategory::Predictor, "predict",
+              {{"on", std::to_string(decision.waitOn)}});
+        trace(worker, sim::TraceCategory::Sched, "suspend-stall",
+              {{"on", std::to_string(decision.waitOn)}});
         worker.stallOn = decision.waitOn;
         worker.stallStart = events_.curTick();
         worker.phase = Phase::BeginStall;
@@ -289,8 +312,13 @@ Simulation::doTxBegin(Worker &worker)
         return false;
       }
       case cm::BeginAction::YieldOn: {
-        trace(worker, "suspend-yield",
-              "on=" + std::to_string(decision.waitOn));
+        sitePrediction_[static_cast<std::size_t>(info.sTx)]
+            .predictedStalls.inc();
+        worker.lastSerializedOn = decision.waitOn;
+        trace(worker, sim::TraceCategory::Predictor, "predict",
+              {{"on", std::to_string(decision.waitOn)}});
+        trace(worker, sim::TraceCategory::Sched, "suspend-yield",
+              {{"on", std::to_string(decision.waitOn)}});
         worker.phase = Phase::YieldNow;
         if (decision.cost.sched + decision.cost.kernel == 0)
             return true;
@@ -298,7 +326,7 @@ Simulation::doTxBegin(Worker &worker)
         return false;
       }
       case cm::BeginAction::Block: {
-        trace(worker, "block");
+        trace(worker, sim::TraceCategory::Sched, "block");
         worker.phase = Phase::BlockNow;
         if (decision.cost.sched + decision.cost.kernel == 0)
             return true;
@@ -313,12 +341,18 @@ bool
 Simulation::doBeginStall(Worker &worker)
 {
     if (!isTxRunning(worker.stallOn)) {
+        stallCyclesHist_.sample(static_cast<double>(
+            events_.curTick() - worker.stallStart));
         worker.phase = Phase::TxBegin;
         return true;
     }
     if (events_.curTick() - worker.stallStart
         >= config_.beginStallTimeout) {
         stallTimeouts_.inc();
+        stallCyclesHist_.sample(static_cast<double>(
+            events_.curTick() - worker.stallStart));
+        trace(worker, sim::TraceCategory::Sched, "stall-timeout",
+              {{"on", std::to_string(worker.stallOn)}});
         worker.phase = Phase::TxBegin;
         return true;
     }
@@ -404,6 +438,10 @@ Simulation::doTxAccess(Worker &worker)
         for (const htm::TxState *holder : result.conflicts) {
             if (!worker.reportedEnemies.insert(holder->dTxId).second)
                 continue;
+            trace(worker, sim::TraceCategory::Cm, "conflict",
+                  {{"enemy", std::to_string(holder->dTxId)},
+                   {"line", std::to_string(line)},
+                   {"write", access.write ? "1" : "0"}});
             const cm::CmCost cost = cm_->onConflictDetected(
                 infoFor(worker), infoFor(*holder));
             notify_charges.push_back({cost.sched, Bucket::Sched});
@@ -488,9 +526,23 @@ Simulation::abortTx(Worker &worker, const cm::TxInfo &enemy)
     worker.tx.active = false;
 
     aborts_.inc();
-    trace(worker, "abort",
-          "enemy=" + std::to_string(enemy.dTx) + " wasted="
-              + std::to_string(worker.attemptCycles));
+    abortCyclesHist_.sample(static_cast<double>(worker.attemptCycles));
+    {
+        // Prediction quality: an abort of an attempt no begin
+        // decision serialized is a missed prediction; a serialized
+        // attempt that aborted anyway predicted a real conflict but
+        // the stall failed to prevent it.
+        SitePrediction &site = sitePrediction_[static_cast<std::size_t>(
+            ids_->staticOf(worker.tx.dTxId))];
+        if (worker.attemptSerializedOn == htm::kNoTx)
+            site.falseNegatives.inc();
+        else
+            site.predictedAborts.inc();
+        worker.attemptSerializedOn = htm::kNoTx;
+    }
+    trace(worker, sim::TraceCategory::Tx, "abort",
+          {{"enemy", std::to_string(enemy.dTx)},
+           {"wasted", std::to_string(worker.attemptCycles)}});
     {
         const int a = ids_->staticOf(worker.tx.dTxId);
         const int b = enemy.dTx != htm::kNoTx ? enemy.sTx : a;
@@ -502,6 +554,8 @@ Simulation::abortTx(Worker &worker, const cm::TxInfo &enemy)
 
     // Walk the undo log backwards in software (LogTM abort).
     const sim::Cycles rollback = worker.undoLog.abort();
+    trace(worker, sim::TraceCategory::Mem, "rollback",
+          {{"cycles", std::to_string(rollback)}});
 
     const cm::AbortResponse resp =
         cm_->onTxAbort(infoFor(worker), enemy);
@@ -556,8 +610,12 @@ Simulation::doCommitDone(Worker &worker)
     const cm::CmCost cost = cm_->onTxCommit(infoFor(worker), rw_lines);
 
     commits_.inc();
-    trace(worker, "commit",
-          "lines=" + std::to_string(rw_lines.size()));
+    trace(worker, sim::TraceCategory::Tx, "commit",
+          {{"lines", std::to_string(rw_lines.size())}});
+    // Classify before recordSimilarity: the enemy's lastSet must
+    // still hold the set it most recently committed.
+    classifyPrediction(worker, rw_lines);
+    worker.attemptSerializedOn = htm::kNoTx;
     worker.buckets.tx += worker.attemptCycles;
     worker.attemptCycles = 0;
     recordSimilarity(worker, rw_lines);
@@ -597,8 +655,40 @@ Simulation::recordSimilarity(Worker &worker,
 }
 
 void
-Simulation::dumpStats(std::ostream &os) const
+Simulation::classifyPrediction(const Worker &worker,
+                               const std::vector<mem::Addr> &rw_lines)
 {
+    const htm::DTxId enemy = worker.attemptSerializedOn;
+    if (enemy == htm::kNoTx)
+        return;
+    SitePrediction &site = sitePrediction_[static_cast<std::size_t>(
+        ids_->staticOf(worker.tx.dTxId))];
+    // Exact-set ground truth: if this commit's lines intersect the
+    // enemy's last committed set, the serialization dodged a certain
+    // conflict (true positive); a disjoint set means the enemy would
+    // have committed clean and the stall was wasted (false positive).
+    const SimTrack &track = simTrack_[static_cast<std::size_t>(
+        ids_->denseIndex(enemy))];
+    bool overlap = false;
+    for (mem::Addr line : rw_lines) {
+        if (track.lastSet.count(line) > 0) {
+            overlap = true;
+            break;
+        }
+    }
+    if (overlap)
+        site.truePositives.inc();
+    else
+        site.falsePositives.inc();
+}
+
+void
+Simulation::visitStatGroups(
+    const std::function<void(const sim::StatGroup &)> &visit) const
+{
+    // Scratch aggregation counters live in each block so they stay
+    // alive while the group (which holds pointers) is visited.
+
     // Memory hierarchy.
     {
         sim::Counter l1_hits, l1_misses;
@@ -614,7 +704,7 @@ Simulation::dumpStats(std::ostream &os) const
         group.addCounter("bus.requests", &mem_->bus().requests());
         group.addCounter("bus.queuedCycles",
                          &mem_->bus().queuedCycles());
-        group.dump(os);
+        visit(group);
     }
     // HTM substrate.
     {
@@ -634,7 +724,9 @@ Simulation::dumpStats(std::ostream &os) const
         group.addCounter("undoLog.highWaterSum", &log_high_water);
         group.addCounter("commits", &commits_);
         group.addCounter("aborts", &aborts_);
-        group.dump(os);
+        group.addHistogram("nackRetries",
+                           &detector_->nackRetryHist());
+        visit(group);
     }
     // Predictor hardware (meaningful for the HW variants).
     {
@@ -654,7 +746,37 @@ Simulation::dumpStats(std::ostream &os) const
         group.addCounter("confCache.hits", &cache_hits);
         group.addCounter("confCache.misses", &cache_misses);
         group.addCounter("confCache.refetches", &refetches);
-        group.dump(os);
+        group.addCounter("snoopInvalidations",
+                         &predictors_->snoopInvalidations());
+        group.addCounter("cpuTableUpdates",
+                         &predictors_->cpuTableUpdates());
+        visit(group);
+    }
+    // Predictor decision quality (runner ground truth).
+    {
+        sim::Counter stalls, tp, fp, fn, predicted_aborts;
+        for (const SitePrediction &site : sitePrediction_) {
+            stalls.inc(site.predictedStalls.value());
+            tp.inc(site.truePositives.value());
+            fp.inc(site.falsePositives.value());
+            fn.inc(site.falseNegatives.value());
+            predicted_aborts.inc(site.predictedAborts.value());
+        }
+        PredictionQuality quality;
+        quality.predictedStalls = stalls.value();
+        quality.truePositives = tp.value();
+        quality.falsePositives = fp.value();
+        quality.falseNegatives = fn.value();
+        quality.predictedAborts = predicted_aborts.value();
+        sim::StatGroup group("predictor.quality");
+        group.addCounter("predictedStalls", &stalls);
+        group.addCounter("truePositives", &tp);
+        group.addCounter("falsePositives", &fp);
+        group.addCounter("falseNegatives", &fn);
+        group.addCounter("predictedAborts", &predicted_aborts);
+        group.addScalar("precision", quality.precision());
+        group.addScalar("recall", quality.recall());
+        visit(group);
     }
     // Contention manager.
     if (auto *base =
@@ -663,7 +785,17 @@ Simulation::dumpStats(std::ostream &os) const
         group.addCounter("commits", &base->commits());
         group.addCounter("aborts", &base->aborts());
         group.addCounter("serializations", &base->serializations());
-        group.dump(os);
+        visit(group);
+    }
+    // BFGTS internals (similarity EWMA inputs and gating).
+    if (auto *bfgts = dynamic_cast<cm::BfgtsManager *>(cm_.get())) {
+        sim::StatGroup group("bfgts");
+        group.addCounter("gatedBegins", &bfgts->gatedBegins());
+        group.addCounter("skippedSimUpdates",
+                         &bfgts->skippedSimUpdates());
+        group.addHistogram("similarity", &bfgts->similarityHist());
+        group.addHistogram("confidence", &bfgts->confidenceHist());
+        visit(group);
     }
     // OS scheduler.
     {
@@ -679,8 +811,69 @@ Simulation::dumpStats(std::ostream &os) const
         group.addCounter("preemptions", &preemptions);
         group.addCounter("blocks", &blocks);
         group.addCounter("kernelCycles", &kernel);
-        group.dump(os);
+        visit(group);
     }
+    // Runner-level cycle distributions.
+    {
+        sim::StatGroup group("runner");
+        group.addCounter("conflicts", &conflicts_);
+        group.addCounter("stallTimeouts", &stallTimeouts_);
+        group.addHistogram("abortCycles", &abortCyclesHist_);
+        group.addHistogram("stallCycles", &stallCyclesHist_);
+        visit(group);
+    }
+}
+
+void
+Simulation::dumpStats(std::ostream &os) const
+{
+    visitStatGroups(
+        [&os](const sim::StatGroup &group) { group.dump(os); });
+}
+
+void
+Simulation::dumpStatsJson(sim::JsonWriter &jw) const
+{
+    jw.beginObject("stats");
+    visitStatGroups(
+        [&jw](const sim::StatGroup &group) { group.dumpJson(jw); });
+    jw.endObject();
+
+    PredictionQuality total;
+    for (const SitePrediction &site : sitePrediction_) {
+        total.predictedStalls += site.predictedStalls.value();
+        total.truePositives += site.truePositives.value();
+        total.falsePositives += site.falsePositives.value();
+        total.falseNegatives += site.falseNegatives.value();
+        total.predictedAborts += site.predictedAborts.value();
+    }
+    jw.beginObject("predictor_quality");
+    jw.kv("predictedStalls", total.predictedStalls);
+    jw.kv("truePositives", total.truePositives);
+    jw.kv("falsePositives", total.falsePositives);
+    jw.kv("falseNegatives", total.falseNegatives);
+    jw.kv("predictedAborts", total.predictedAborts);
+    jw.kv("precision", total.precision());
+    jw.kv("recall", total.recall());
+    jw.beginArray("perSite");
+    for (std::size_t s = 0; s < sitePrediction_.size(); ++s) {
+        const SitePrediction &site = sitePrediction_[s];
+        jw.beginObject();
+        jw.kv("sTx", static_cast<std::uint64_t>(s));
+        jw.kv("predictedStalls", site.predictedStalls.value());
+        jw.kv("truePositives", site.truePositives.value());
+        jw.kv("falsePositives", site.falsePositives.value());
+        jw.kv("falseNegatives", site.falseNegatives.value());
+        jw.kv("predictedAborts", site.predictedAborts.value());
+        jw.endObject();
+    }
+    jw.endArray();
+    jw.endObject();
+
+    jw.beginArray("similarity_per_site");
+    for (const sim::Accumulator &acc : siteSim_)
+        jw.value(acc.mean());
+    jw.endArray();
 }
 
 SimResults
@@ -732,6 +925,19 @@ Simulation::run()
     if (auto *base =
             dynamic_cast<cm::ContentionManagerBase *>(cm_.get())) {
         results.serializations = base->serializations().value();
+    }
+
+    for (const SitePrediction &site : sitePrediction_) {
+        results.prediction.predictedStalls +=
+            site.predictedStalls.value();
+        results.prediction.truePositives +=
+            site.truePositives.value();
+        results.prediction.falsePositives +=
+            site.falsePositives.value();
+        results.prediction.falseNegatives +=
+            site.falseNegatives.value();
+        results.prediction.predictedAborts +=
+            site.predictedAborts.value();
     }
 
     for (const sim::Accumulator &acc : siteSim_)

@@ -25,6 +25,7 @@
 #ifndef BFGTS_RUNNER_SIMULATION_H
 #define BFGTS_RUNNER_SIMULATION_H
 
+#include <functional>
 #include <memory>
 #include <ostream>
 #include <set>
@@ -37,6 +38,11 @@
 #include "sim/event_queue.h"
 #include "sim/random.h"
 #include "sim/stats.h"
+#include "sim/trace.h"
+
+namespace sim {
+class JsonWriter;
+}
 
 namespace runner {
 
@@ -55,10 +61,20 @@ class Simulation
 
     /**
      * Dump every component's raw statistics (caches, bus, conflict
-     * detector, predictors, contention manager, undo logs) in the
-     * gem5-style "group.stat value" format. Valid after run().
+     * detector, predictors, contention manager, undo logs, predictor
+     * decision quality) in the gem5-style "group.stat value" format.
+     * Valid after run().
      */
     void dumpStats(std::ostream &os) const;
+
+    /**
+     * JSON twin of dumpStats(): writes a "stats" object (one member
+     * per component group), a "predictor_quality" object with
+     * precision/recall and the per-site confusion counters, and a
+     * "similarity_per_site" array into the writer's current object.
+     * Key order is fixed, so equal runs dump byte-identical JSON.
+     */
+    void dumpStatsJson(sim::JsonWriter &jw) const;
 
     /** The contention manager under test (for tests). */
     cm::ContentionManager &manager() { return *cm_; }
@@ -99,6 +115,12 @@ class Simulation
         bool committing = false;
         sim::EventId pendingEvent = sim::kNoEvent;
         sim::Cycles attemptCycles = 0;
+        /** Enemy the most recent begin decision serialized behind
+         *  (kNoTx when the last begin proceeded unserialized). */
+        htm::DTxId lastSerializedOn = htm::kNoTx;
+        /** Enemy the *running* attempt was serialized behind; drives
+         *  the prediction-quality classification at commit/abort. */
+        htm::DTxId attemptSerializedOn = htm::kNoTx;
         /** Enemies already reported to the CM in this attempt.
          *  Ordered by dTxID so any future iteration (e.g. picking a
          *  victim among enemies) is deterministic by construction. */
@@ -132,9 +154,21 @@ class Simulation
     /** Abort @p worker's transaction; @p enemy is the other party. */
     void abortTx(Worker &worker, const cm::TxInfo &enemy);
 
-    /** Emit one trace line if tracing is enabled (no sim cost). */
-    void trace(const Worker &worker, const char *event,
-               const std::string &detail = "");
+    /** Emit one trace record if tracing is enabled (no sim cost). */
+    void trace(const Worker &worker, sim::TraceCategory category,
+               const char *event,
+               std::vector<std::pair<std::string, std::string>>
+                   details = {});
+
+    /** Classify a serialized attempt's outcome at commit time. */
+    void classifyPrediction(const Worker &worker,
+                            const std::vector<mem::Addr> &rw_lines);
+
+    /** Build every component StatGroup and hand it to @p visit.
+     *  Shared by the text and JSON stat dumps. */
+    void visitStatGroups(
+        const std::function<void(const sim::StatGroup &)> &visit)
+        const;
 
     cm::TxInfo infoFor(const Worker &worker) const;
     cm::TxInfo infoFor(const htm::TxState &tx) const;
@@ -170,6 +204,21 @@ class Simulation
     sim::Counter stallTimeouts_;
     sim::Tick lastFinish_ = 0;
     int finishedThreads_ = 0;
+
+    /** Per-sTxID prediction confusion counters (see
+     *  runner::PredictionQuality for the classification rules). */
+    struct SitePrediction {
+        sim::Counter predictedStalls;
+        sim::Counter truePositives;
+        sim::Counter falsePositives;
+        sim::Counter falseNegatives;
+        sim::Counter predictedAborts;
+    };
+    std::vector<SitePrediction> sitePrediction_; // per sTxId
+    /** Cycles wasted per aborted attempt (Fig. 5 "aborted" source). */
+    sim::Histogram abortCyclesHist_ = sim::Histogram::makeLog2(34);
+    /** Cycles spent in each begin-stall (prediction wait time). */
+    sim::Histogram stallCyclesHist_ = sim::Histogram::makeLog2(34);
 
     struct SimTrack {
         sim::HashSet<mem::Addr> lastSet;

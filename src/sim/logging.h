@@ -52,11 +52,18 @@ std::string format(const char *fmt, ...)
 #define sim_inform(...)                                                   \
     ::sim::detail::informImpl(::sim::detail::format(__VA_ARGS__))
 
-/** Panic when a required invariant does not hold. */
+/**
+ * Panic when a required invariant does not hold. An optional
+ * printf-style message after the condition is formatted and appended
+ * to the panic, e.g. sim_assert(tid == t, "thread %d misnumbered", t).
+ */
 #define sim_assert(cond, ...)                                             \
     do {                                                                  \
         if (!(cond)) {                                                    \
-            sim_panic("assertion failed: %s", #cond);                     \
+            sim_panic(                                                    \
+                "assertion failed: %s" __VA_OPT__(": %s"), #cond          \
+                    __VA_OPT__(, ::sim::detail::format(__VA_ARGS__)       \
+                                     .c_str()));                          \
         }                                                                 \
     } while (0)
 

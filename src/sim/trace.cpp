@@ -1,0 +1,74 @@
+#include "trace.h"
+
+#include "sim/json.h"
+#include "sim/logging.h"
+
+namespace sim {
+
+const char *
+traceCategoryName(TraceCategory category)
+{
+    switch (category) {
+      case TraceCategory::Tx:
+        return "tx";
+      case TraceCategory::Sched:
+        return "sched";
+      case TraceCategory::Cm:
+        return "cm";
+      case TraceCategory::Predictor:
+        return "predictor";
+      case TraceCategory::Mem:
+        return "mem";
+    }
+    sim_panic("unhandled TraceCategory %u",
+              static_cast<unsigned>(category));
+}
+
+bool
+traceCategoryFromName(const std::string &name, TraceCategory *out)
+{
+    for (unsigned i = 0; i < kNumTraceCategories; ++i) {
+        const auto category = static_cast<TraceCategory>(i);
+        if (name == traceCategoryName(category)) {
+            *out = category;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+TextTraceSink::write(const TraceRecord &record)
+{
+    os_ << "tick=" << record.tick << " cpu=" << record.cpu
+        << " thread=" << record.thread << " sTx=" << record.sTx
+        << " dTx=" << record.dTx << " cat="
+        << traceCategoryName(record.category) << ' ' << record.event;
+    for (const auto &[key, value] : record.details)
+        os_ << ' ' << key << '=' << value;
+    os_ << '\n';
+}
+
+void
+JsonlTraceSink::write(const TraceRecord &record)
+{
+    JsonWriter jw(os_, /*indent=*/0);
+    jw.beginObject();
+    jw.kv("tick", static_cast<std::uint64_t>(record.tick));
+    jw.kv("cpu", record.cpu);
+    jw.kv("thread", record.thread);
+    jw.kv("sTx", static_cast<std::int64_t>(record.sTx));
+    jw.kv("dTx", static_cast<std::int64_t>(record.dTx));
+    jw.kv("cat", traceCategoryName(record.category));
+    jw.kv("event", record.event);
+    if (!record.details.empty()) {
+        jw.beginObject("detail");
+        for (const auto &[key, value] : record.details)
+            jw.kv(key, value);
+        jw.endObject();
+    }
+    jw.endObject();
+    os_ << '\n';
+}
+
+} // namespace sim

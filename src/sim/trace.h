@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Structured transaction-lifecycle tracing.
+ *
+ * The simulator emits one TraceRecord per lifecycle event (begin
+ * decisions, starts, conflicts, aborts, commits, rollbacks). A
+ * TraceSink receives the records, filters them by category, and
+ * renders them; two implementations ship:
+ *  - TextTraceSink: one human-readable "key=value" line per record;
+ *  - JsonlTraceSink: one JSON object per line (JSON Lines), for
+ *    offline reconstruction of full lifecycle timelines.
+ *
+ * Categories (docs/observability.md):
+ *  - tx:        transaction lifecycle (start/commit/abort)
+ *  - sched:     scheduling actions (suspend, yield, block, timeout)
+ *  - cm:        contention-manager arbitration (conflicts)
+ *  - predictor: begin-time conflict predictions
+ *  - mem:       memory/versioning events (undo-log rollback)
+ *
+ * Tracing is observational only: sinks add no simulated cost, and a
+ * filtered-out record costs one mask test.
+ */
+
+#ifndef BFGTS_SIM_TRACE_H
+#define BFGTS_SIM_TRACE_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace sim {
+
+/** Event categories a sink can filter on. */
+enum class TraceCategory : unsigned {
+    Tx = 0,
+    Sched,
+    Cm,
+    Predictor,
+    Mem,
+};
+
+/** Number of trace categories (mask width). */
+constexpr unsigned kNumTraceCategories = 5;
+
+/** Short lowercase category name ("tx", "sched", ...). */
+const char *traceCategoryName(TraceCategory category);
+
+/**
+ * Parse a category name; returns false (and leaves @p out alone) for
+ * unknown names.
+ */
+bool traceCategoryFromName(const std::string &name,
+                           TraceCategory *out);
+
+/** One structured lifecycle event. */
+struct TraceRecord {
+    Tick tick = 0;
+    CpuId cpu = kNoCpu;
+    ThreadId thread = kNoThread;
+    /** Static transaction ID (site), -1 when not applicable. */
+    std::int64_t sTx = -1;
+    /** Dynamic transaction ID, -1 when not applicable. */
+    std::int64_t dTx = -1;
+    TraceCategory category = TraceCategory::Tx;
+    /** Event name ("start", "commit", "abort", "predict", ...). */
+    const char *event = "";
+    /** Event-specific key/value details, in emission order. */
+    std::vector<std::pair<std::string, std::string>> details;
+};
+
+/**
+ * Receives trace records; subclasses render them.
+ *
+ * The category mask defaults to everything enabled. wants() is
+ * exposed so emitters can skip building detail strings for records
+ * that would be dropped anyway.
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Render @p record if its category is enabled. */
+    void
+    emit(const TraceRecord &record)
+    {
+        if (wants(record.category))
+            write(record);
+    }
+
+    /** Is @p category currently enabled? */
+    bool
+    wants(TraceCategory category) const
+    {
+        return (mask_ & bit(category)) != 0;
+    }
+
+    /** Enable every category (the default). */
+    void enableAll() { mask_ = allMask(); }
+
+    /** Enable exactly the given categories. */
+    void
+    enableOnly(const std::vector<TraceCategory> &categories)
+    {
+        mask_ = 0;
+        for (TraceCategory category : categories)
+            mask_ |= bit(category);
+    }
+
+  protected:
+    /** Render one record; only called for enabled categories. */
+    virtual void write(const TraceRecord &record) = 0;
+
+  private:
+    static unsigned
+    bit(TraceCategory category)
+    {
+        return 1u << static_cast<unsigned>(category);
+    }
+
+    static unsigned allMask() { return (1u << kNumTraceCategories) - 1; }
+
+    unsigned mask_ = allMask();
+};
+
+/** "tick=N cpu=C thread=T sTx=S dTx=D cat=x event k=v..." lines. */
+class TextTraceSink : public TraceSink
+{
+  public:
+    explicit TextTraceSink(std::ostream &os) : os_(os) {}
+
+  protected:
+    void write(const TraceRecord &record) override;
+
+  private:
+    std::ostream &os_;
+};
+
+/** One compact JSON object per record (JSON Lines). */
+class JsonlTraceSink : public TraceSink
+{
+  public:
+    explicit JsonlTraceSink(std::ostream &os) : os_(os) {}
+
+  protected:
+    void write(const TraceRecord &record) override;
+
+  private:
+    std::ostream &os_;
+};
+
+} // namespace sim
+
+#endif // BFGTS_SIM_TRACE_H

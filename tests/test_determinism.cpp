@@ -19,10 +19,13 @@
 
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "cm/factory.h"
 #include "runner/simulation.h"
 #include "sim/det_hash.h"
+#include "sim/json.h"
+#include "sim/trace.h"
 
 namespace {
 
@@ -110,6 +113,40 @@ TEST_F(DeterminismTest, HashSeedCannotPerturbResults)
                            "iteration order (cm kind "
                         << static_cast<int>(kind) << ")";
     }
+}
+
+/** JSON stats dump + JSONL trace of one run under @p hash_seed. */
+std::pair<std::string, std::string>
+jsonOutputsFor(const runner::SimConfig &base, std::uint64_t hash_seed)
+{
+    sim::setHashSeed(hash_seed);
+    std::ostringstream trace_os;
+    sim::JsonlTraceSink sink(trace_os);
+    runner::SimConfig config = base;
+    config.traceSink = &sink;
+    runner::Simulation sim(config);
+    sim.run();
+    std::ostringstream stats_os;
+    sim::JsonWriter jw(stats_os);
+    jw.beginObject();
+    sim.dumpStatsJson(jw);
+    jw.endObject();
+    return {stats_os.str(), trace_os.str()};
+}
+
+TEST_F(DeterminismTest, JsonStatsAndTraceAreHashSeedInvariant)
+{
+    // The observability layer is part of the determinism contract:
+    // machine-readable stats and traces must be byte-identical across
+    // hash seeds, or diffing two runs becomes meaningless.
+    const runner::SimConfig config =
+        contendedConfig(cm::CmKind::BfgtsHw);
+    const auto a = jsonOutputsFor(config, 0x0123456789abcdefULL);
+    const auto b = jsonOutputsFor(config, 0xfedcba9876543210ULL);
+    EXPECT_EQ(a.first, b.first) << "JSON stats depend on hash order";
+    EXPECT_EQ(a.second, b.second) << "JSONL trace depends on hash order";
+    EXPECT_FALSE(a.first.empty());
+    EXPECT_FALSE(a.second.empty());
 }
 
 TEST_F(DeterminismTest, SignatureModeIsHashSeedInvariant)

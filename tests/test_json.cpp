@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the dependency-free JSON writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "sim/json.h"
+
+namespace {
+
+TEST(JsonEscape, QuotesBackslashesAndControls)
+{
+    EXPECT_EQ(sim::jsonEscape("plain"), "\"plain\"");
+    EXPECT_EQ(sim::jsonEscape("a\"b"), "\"a\\\"b\"");
+    EXPECT_EQ(sim::jsonEscape("a\\b"), "\"a\\\\b\"");
+    EXPECT_EQ(sim::jsonEscape("a\nb\tc"), "\"a\\nb\\tc\"");
+    EXPECT_EQ(sim::jsonEscape(std::string(1, '\x01')), "\"\\u0001\"");
+    // UTF-8 payloads pass through byte-wise.
+    EXPECT_EQ(sim::jsonEscape("\xc3\xa9"), "\"\xc3\xa9\"");
+}
+
+TEST(JsonNumber, ShortestRoundTripAndNonFinite)
+{
+    EXPECT_EQ(sim::jsonNumber(0.0), "0");
+    EXPECT_EQ(sim::jsonNumber(2.0), "2");
+    EXPECT_EQ(sim::jsonNumber(0.75), "0.75");
+    EXPECT_EQ(sim::jsonNumber(0.1), "0.1");
+    EXPECT_EQ(sim::jsonNumber(-3.5), "-3.5");
+    EXPECT_EQ(
+        sim::jsonNumber(std::numeric_limits<double>::infinity()),
+        "null");
+    EXPECT_EQ(sim::jsonNumber(std::nan("")), "null");
+}
+
+TEST(JsonWriter, CompactObjectWithNesting)
+{
+    std::ostringstream os;
+    sim::JsonWriter jw(os, 0);
+    jw.beginObject();
+    jw.kv("a", std::uint64_t{1});
+    jw.beginObject("nested");
+    jw.kv("b", "text");
+    jw.endObject();
+    jw.beginArray("list");
+    jw.value(1);
+    jw.value(2.5);
+    jw.value(true);
+    jw.valueNull();
+    jw.endArray();
+    jw.endObject();
+    EXPECT_TRUE(jw.done());
+    EXPECT_EQ(os.str(),
+              "{\"a\":1,\"nested\":{\"b\":\"text\"},"
+              "\"list\":[1,2.5,true,null]}");
+}
+
+TEST(JsonWriter, IndentedOutputIsValidAndStable)
+{
+    std::ostringstream os;
+    sim::JsonWriter jw(os, 2);
+    jw.beginObject();
+    jw.kv("x", 1);
+    jw.beginArray("ys");
+    jw.value("a");
+    jw.endArray();
+    jw.endObject();
+    EXPECT_EQ(os.str(),
+              "{\n  \"x\": 1,\n  \"ys\": [\n    \"a\"\n  ]\n}\n");
+}
+
+TEST(JsonWriter, EmptyContainers)
+{
+    std::ostringstream os;
+    sim::JsonWriter jw(os, 0);
+    jw.beginObject();
+    jw.beginObject("o");
+    jw.endObject();
+    jw.beginArray("a");
+    jw.endArray();
+    jw.endObject();
+    EXPECT_EQ(os.str(), "{\"o\":{},\"a\":[]}");
+}
+
+TEST(JsonWriter, ArrayOfObjects)
+{
+    std::ostringstream os;
+    sim::JsonWriter jw(os, 0);
+    jw.beginArray();
+    for (int i = 0; i < 2; ++i) {
+        jw.beginObject();
+        jw.kv("i", i);
+        jw.endObject();
+    }
+    jw.endArray();
+    EXPECT_EQ(os.str(), "[{\"i\":0},{\"i\":1}]");
+}
+
+TEST(JsonWriter, KeysEscapedAndSignedValues)
+{
+    std::ostringstream os;
+    sim::JsonWriter jw(os, 0);
+    jw.beginObject();
+    jw.kv("we\"ird", std::int64_t{-7});
+    jw.endObject();
+    EXPECT_EQ(os.str(), "{\"we\\\"ird\":-7}");
+}
+
+TEST(JsonWriterDeath, ValueWithoutKeyInObjectPanics)
+{
+    std::ostringstream os;
+    sim::JsonWriter jw(os, 0);
+    jw.beginObject();
+    EXPECT_DEATH(jw.value(1), "key");
+}
+
+TEST(JsonWriter, GitDescribeIsNonEmpty)
+{
+    EXPECT_NE(sim::buildGitDescribe(), nullptr);
+    EXPECT_GT(std::string(sim::buildGitDescribe()).size(), 0u);
+}
+
+} // namespace

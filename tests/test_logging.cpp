@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Tests for sim_assert's optional printf-style message: both the
+ * bare form and the formatted context must reach the panic output.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.h"
+
+namespace {
+
+TEST(SimAssertDeath, BareFormPrintsCondition)
+{
+    EXPECT_DEATH(sim_assert(1 == 2), "assertion failed: 1 == 2");
+}
+
+TEST(SimAssertDeath, MessageFormPrintsFormattedContext)
+{
+    // Regression: the message used to be swallowed entirely.
+    EXPECT_DEATH(sim_assert(1 == 2, "ctx %d and %s", 7, "tail"),
+                 "assertion failed: 1 == 2: ctx 7 and tail");
+}
+
+TEST(SimAssert, TrueConditionEvaluatesArgumentsLazily)
+{
+    int calls = 0;
+    auto count = [&calls]() {
+        ++calls;
+        return 1;
+    };
+    sim_assert(true, "never formatted %d", count());
+    EXPECT_EQ(calls, 0);
+}
+
+} // namespace

@@ -72,6 +72,94 @@ TEST(Accumulator, NegativeValues)
     EXPECT_DOUBLE_EQ(a.max(), 3.0);
 }
 
+TEST(Accumulator, WelfordSurvivesLargeMeans)
+{
+    // The naive sumSq - sum^2/n form cancels catastrophically here
+    // and reports 0 (or NaN); Welford keeps full precision.
+    sim::Accumulator a;
+    a.sample(1e9 + 1.0);
+    a.sample(1e9 + 2.0);
+    a.sample(1e9 + 3.0);
+    EXPECT_NEAR(a.mean(), 1e9 + 2.0, 1e-6);
+    EXPECT_NEAR(a.stddev(), 0.816496580927726, 1e-9);
+}
+
+TEST(Histogram, Log2BucketEdges)
+{
+    const sim::Histogram h = sim::Histogram::makeLog2(6);
+    // Bucket 0 holds everything below 1.
+    EXPECT_DOUBLE_EQ(h.bucketLo(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.bucketHi(0), 1.0);
+    // Bucket i holds [2^(i-1), 2^i).
+    EXPECT_DOUBLE_EQ(h.bucketLo(1), 1.0);
+    EXPECT_DOUBLE_EQ(h.bucketHi(1), 2.0);
+    EXPECT_DOUBLE_EQ(h.bucketLo(4), 8.0);
+    EXPECT_DOUBLE_EQ(h.bucketHi(4), 16.0);
+    // The last bucket absorbs everything above its lower edge.
+    EXPECT_DOUBLE_EQ(h.bucketLo(5), 16.0);
+    EXPECT_TRUE(std::isinf(h.bucketHi(5)));
+}
+
+TEST(Histogram, Log2BucketOf)
+{
+    const sim::Histogram h = sim::Histogram::makeLog2(6);
+    EXPECT_EQ(h.bucketOf(0.0), 0);
+    EXPECT_EQ(h.bucketOf(0.5), 0);
+    EXPECT_EQ(h.bucketOf(1.0), 1);
+    EXPECT_EQ(h.bucketOf(1.99), 1);
+    EXPECT_EQ(h.bucketOf(2.0), 2);
+    EXPECT_EQ(h.bucketOf(15.0), 4);
+    EXPECT_EQ(h.bucketOf(16.0), 5);
+    EXPECT_EQ(h.bucketOf(1e30), 5); // overflow clamps to the last
+}
+
+TEST(Histogram, LinearBucketEdgesAndClamping)
+{
+    const sim::Histogram h = sim::Histogram::makeLinear(0.0, 1.0, 4);
+    EXPECT_DOUBLE_EQ(h.bucketLo(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.bucketHi(0), 0.25);
+    EXPECT_DOUBLE_EQ(h.bucketLo(3), 0.75);
+    EXPECT_DOUBLE_EQ(h.bucketHi(3), 1.0);
+    EXPECT_EQ(h.bucketOf(-0.5), 0);  // below lo clamps down
+    EXPECT_EQ(h.bucketOf(0.0), 0);
+    EXPECT_EQ(h.bucketOf(0.25), 1);
+    EXPECT_EQ(h.bucketOf(0.999), 3);
+    EXPECT_EQ(h.bucketOf(1.0), 3);   // at/above hi clamps up
+    EXPECT_EQ(h.bucketOf(42.0), 3);
+}
+
+TEST(Histogram, SampleAccumulatesCountsAndMean)
+{
+    sim::Histogram h = sim::Histogram::makeLog2(8);
+    h.sample(3.0);
+    h.sample(3.0, 2);
+    h.sample(100.0);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.mean(), (3.0 * 3 + 100.0) / 4.0);
+    EXPECT_EQ(h.bucketCount(h.bucketOf(3.0)), 3u);
+    EXPECT_EQ(h.bucketCount(h.bucketOf(100.0)), 1u);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.bucketCount(2), 0u);
+}
+
+TEST(StatGroup, DumpIncludesHistogramsAndScalars)
+{
+    sim::Histogram h = sim::Histogram::makeLog2(8);
+    h.sample(3.0);
+    sim::StatGroup group("g");
+    group.addHistogram("lat", &h);
+    group.addScalar("precision", 0.75);
+    std::ostringstream os;
+    group.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("g.lat.count 1"), std::string::npos);
+    EXPECT_NE(out.find("g.precision 0.75"), std::string::npos);
+    // Only non-empty buckets are printed.
+    EXPECT_NE(out.find("g.lat.bucket[2,4) 1"), std::string::npos);
+    EXPECT_EQ(out.find("g.lat.bucket[4,8)"), std::string::npos);
+}
+
 TEST(StatGroup, DumpsRegisteredStats)
 {
     sim::Counter commits;

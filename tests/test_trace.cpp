@@ -1,32 +1,36 @@
 /**
  * @file
- * Tests for the transaction-lifecycle trace stream.
+ * Tests for the structured trace sinks (text and JSONL) and their
+ * category filtering.
  */
 
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <vector>
 
 #include "runner/experiment.h"
 #include "runner/simulation.h"
+#include "sim/trace.h"
 
 namespace {
 
 runner::SimConfig
-tracedConfig(std::ostream *os)
+tracedConfig(sim::TraceSink *sink)
 {
     runner::RunOptions options;
     options.txPerThread = 5;
     runner::SimConfig config =
         runner::makeConfig("Intruder", cm::CmKind::BfgtsHw, options);
-    config.traceStream = os;
+    config.traceSink = sink;
     return config;
 }
 
 TEST(Trace, EmitsLifecycleEvents)
 {
     std::ostringstream os;
-    runner::Simulation simulation(tracedConfig(&os));
+    sim::TextTraceSink sink(os);
+    runner::Simulation simulation(tracedConfig(&sink));
     const runner::SimResults r = simulation.run();
     const std::string out = os.str();
     EXPECT_NE(out.find(" start"), std::string::npos);
@@ -34,6 +38,9 @@ TEST(Trace, EmitsLifecycleEvents)
     // High-contention run: aborts and suspensions appear too.
     EXPECT_NE(out.find(" abort enemy="), std::string::npos);
     EXPECT_NE(out.find("suspend"), std::string::npos);
+    EXPECT_NE(out.find("cat=predictor predict"), std::string::npos);
+    EXPECT_NE(out.find("cat=cm conflict"), std::string::npos);
+    EXPECT_NE(out.find("cat=mem rollback"), std::string::npos);
     // One commit line per commit.
     std::size_t commits = 0, pos = 0;
     while ((pos = out.find(" commit ", pos)) != std::string::npos) {
@@ -43,21 +50,75 @@ TEST(Trace, EmitsLifecycleEvents)
     EXPECT_EQ(commits, r.commits);
 }
 
-TEST(Trace, LinesCarryTickThreadAndSite)
+TEST(Trace, LinesCarryTickCpuThreadAndSite)
 {
     std::ostringstream os;
-    runner::Simulation simulation(tracedConfig(&os));
+    sim::TextTraceSink sink(os);
+    runner::Simulation simulation(tracedConfig(&sink));
     simulation.run();
     std::istringstream in(os.str());
     std::string line;
     int checked = 0;
     while (std::getline(in, line) && checked < 50) {
         EXPECT_EQ(line.rfind("tick=", 0), 0u) << line;
+        EXPECT_NE(line.find(" cpu="), std::string::npos) << line;
         EXPECT_NE(line.find(" thread="), std::string::npos) << line;
         EXPECT_NE(line.find(" sTx="), std::string::npos) << line;
+        EXPECT_NE(line.find(" dTx="), std::string::npos) << line;
+        EXPECT_NE(line.find(" cat="), std::string::npos) << line;
         ++checked;
     }
     EXPECT_GT(checked, 0);
+}
+
+TEST(Trace, CategoryFilterDropsOtherCategories)
+{
+    std::ostringstream os;
+    sim::TextTraceSink sink(os);
+    sink.enableOnly({sim::TraceCategory::Tx});
+    runner::Simulation simulation(tracedConfig(&sink));
+    simulation.run();
+    const std::string out = os.str();
+    EXPECT_NE(out.find("cat=tx"), std::string::npos);
+    EXPECT_EQ(out.find("cat=sched"), std::string::npos);
+    EXPECT_EQ(out.find("cat=cm"), std::string::npos);
+    EXPECT_EQ(out.find("cat=predictor"), std::string::npos);
+    EXPECT_EQ(out.find("cat=mem"), std::string::npos);
+}
+
+TEST(Trace, JsonlRecordsAreOnePerLineWithSchemaKeys)
+{
+    std::ostringstream os;
+    sim::JsonlTraceSink sink(os);
+    runner::Simulation simulation(tracedConfig(&sink));
+    simulation.run();
+    std::istringstream in(os.str());
+    std::string line;
+    int checked = 0;
+    while (std::getline(in, line) && checked < 50) {
+        EXPECT_EQ(line.front(), '{') << line;
+        EXPECT_EQ(line.back(), '}') << line;
+        EXPECT_NE(line.find("\"tick\":"), std::string::npos) << line;
+        EXPECT_NE(line.find("\"cpu\":"), std::string::npos) << line;
+        EXPECT_NE(line.find("\"thread\":"), std::string::npos) << line;
+        EXPECT_NE(line.find("\"cat\":"), std::string::npos) << line;
+        EXPECT_NE(line.find("\"event\":"), std::string::npos) << line;
+        ++checked;
+    }
+    EXPECT_GT(checked, 0);
+}
+
+TEST(Trace, CategoryNamesRoundTrip)
+{
+    for (unsigned i = 0; i < sim::kNumTraceCategories; ++i) {
+        const auto category = static_cast<sim::TraceCategory>(i);
+        sim::TraceCategory parsed;
+        ASSERT_TRUE(sim::traceCategoryFromName(
+            sim::traceCategoryName(category), &parsed));
+        EXPECT_EQ(parsed, category);
+    }
+    sim::TraceCategory parsed;
+    EXPECT_FALSE(sim::traceCategoryFromName("bogus", &parsed));
 }
 
 TEST(Trace, DisabledByDefaultAndCostFree)
@@ -67,7 +128,8 @@ TEST(Trace, DisabledByDefaultAndCostFree)
     const runner::SimResults plain =
         runner::runStamp("Intruder", cm::CmKind::BfgtsHw, options);
     std::ostringstream os;
-    runner::Simulation traced(tracedConfig(&os));
+    sim::TextTraceSink sink(os);
+    runner::Simulation traced(tracedConfig(&sink));
     const runner::SimResults with_trace = traced.run();
     // Tracing must not perturb the simulation.
     EXPECT_EQ(plain.runtime, with_trace.runtime);

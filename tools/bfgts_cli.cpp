@@ -20,17 +20,28 @@
  *   --slots N         BFGTS confidence-table aliasing slots (0 = exact)
  *   --baseline        also run the single-core baseline and print speedup
  *   --stats           dump per-component statistics after the run
+ *   --json FILE       write the full machine-readable report
+ *                     (schema bfgts-obs-v1; docs/observability.md)
+ *   --trace FILE      write a lifecycle trace (text; "-" = stderr)
+ *   --trace-jsonl     render the trace as JSON Lines instead of text
+ *   --trace-cats LIST comma-separated trace categories
+ *                     (tx,sched,cm,predictor,mem; default all)
  *   --list            list workloads and managers, then exit
  */
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "runner/experiment.h"
 #include "runner/simulation.h"
+#include "sim/json.h"
+#include "sim/trace.h"
 #include "workloads/splash2.h"
 #include "workloads/stamp.h"
 
@@ -69,9 +80,92 @@ usage(const char *argv0)
                  "usage: %s [--workload NAME] [--cm NAME] [--cpus N] "
                  "[--tpc N] [--tx N]\n          [--seed N] "
                  "[--bloom-bits N] [--interval N] [--slots N]\n"
-                 "          [--baseline] [--list]\n",
+                 "          [--baseline] [--stats] [--json FILE]\n"
+                 "          [--trace FILE] [--trace-jsonl] "
+                 "[--trace-cats tx,sched,cm,predictor,mem]\n"
+                 "          [--list]\n",
                  argv0);
     std::exit(1);
+}
+
+/** Parse "tx,cm,..." into categories; exits on unknown names. */
+std::vector<sim::TraceCategory>
+parseTraceCats(const std::string &list, const char *argv0)
+{
+    std::vector<sim::TraceCategory> cats;
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        std::size_t comma = list.find(',', start);
+        if (comma == std::string::npos)
+            comma = list.size();
+        const std::string name = list.substr(start, comma - start);
+        sim::TraceCategory category;
+        if (!sim::traceCategoryFromName(name, &category)) {
+            std::fprintf(stderr, "unknown trace category '%s'\n",
+                         name.c_str());
+            usage(argv0);
+        }
+        cats.push_back(category);
+        start = comma + 1;
+    }
+    return cats;
+}
+
+/** The bfgts-obs-v1 "run" report (docs/observability.md). */
+void
+writeJsonReport(std::ostream &os, const std::string &name,
+                const runner::SimConfig &config,
+                const runner::SimResults &r,
+                const runner::Simulation &simulation)
+{
+    sim::JsonWriter jw(os);
+    jw.beginObject();
+    jw.kv("schema", "bfgts-obs-v1");
+    jw.kv("kind", "run");
+    jw.kv("name", name);
+    jw.kv("git", sim::buildGitDescribe());
+
+    jw.beginObject("config");
+    jw.kv("workload", r.workload);
+    jw.kv("cm", r.cm);
+    jw.kv("cpus", config.numCpus);
+    jw.kv("threadsPerCpu", config.threadsPerCpu);
+    jw.kv("seed", config.seed);
+    jw.kv("txPerThreadOverride", config.txPerThreadOverride);
+    jw.kv("bloomBits",
+          static_cast<std::uint64_t>(
+              config.tuning.bfgts.bloom.numBits));
+    jw.kv("smallTxInterval", config.tuning.bfgts.smallTxInterval);
+    jw.kv("confTableSlots", config.tuning.bfgts.confTableSlots);
+    jw.endObject();
+
+    jw.beginObject("results");
+    jw.kv("runtime", static_cast<std::uint64_t>(r.runtime));
+    jw.kv("commits", r.commits);
+    jw.kv("aborts", r.aborts);
+    jw.kv("conflicts", r.conflicts);
+    jw.kv("serializations", r.serializations);
+    jw.kv("stallTimeouts", r.stallTimeouts);
+    jw.kv("contentionRate", r.contentionRate);
+    const runner::Breakdown &b = r.breakdown;
+    jw.beginObject("breakdown");
+    jw.kv("nonTx", static_cast<std::uint64_t>(b.nonTx));
+    jw.kv("kernel", static_cast<std::uint64_t>(b.kernel));
+    jw.kv("tx", static_cast<std::uint64_t>(b.tx));
+    jw.kv("aborted", static_cast<std::uint64_t>(b.aborted));
+    jw.kv("sched", static_cast<std::uint64_t>(b.sched));
+    jw.kv("idle", static_cast<std::uint64_t>(b.idle));
+    jw.kv("nonTxFrac", b.frac(b.nonTx));
+    jw.kv("kernelFrac", b.frac(b.kernel));
+    jw.kv("txFrac", b.frac(b.tx));
+    jw.kv("abortedFrac", b.frac(b.aborted));
+    jw.kv("schedFrac", b.frac(b.sched));
+    jw.kv("idleFrac", b.frac(b.idle));
+    jw.endObject();
+    jw.endObject();
+
+    simulation.dumpStatsJson(jw);
+    jw.endObject();
 }
 
 } // namespace
@@ -84,6 +178,10 @@ main(int argc, char **argv)
     runner::SimConfig config;
     bool with_baseline = false;
     bool with_stats = false;
+    std::string json_path;
+    std::string trace_path;
+    bool trace_jsonl = false;
+    std::string trace_cats;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -118,6 +216,14 @@ main(int argc, char **argv)
             with_baseline = true;
         } else if (arg == "--stats") {
             with_stats = true;
+        } else if (arg == "--json") {
+            json_path = next();
+        } else if (arg == "--trace") {
+            trace_path = next();
+        } else if (arg == "--trace-jsonl") {
+            trace_jsonl = true;
+        } else if (arg == "--trace-cats") {
+            trace_cats = next();
         } else {
             usage(argv[0]);
         }
@@ -130,6 +236,31 @@ main(int argc, char **argv)
         };
     } else {
         config.workload = workload; // validated by the factory
+    }
+
+    std::ofstream trace_file;
+    std::unique_ptr<sim::TraceSink> trace_sink;
+    if (!trace_path.empty()) {
+        std::ostream *trace_os = &std::cerr;
+        if (trace_path != "-") {
+            trace_file.open(trace_path);
+            if (!trace_file) {
+                std::fprintf(stderr, "cannot open %s\n",
+                             trace_path.c_str());
+                return 1;
+            }
+            trace_os = &trace_file;
+        }
+        if (trace_jsonl)
+            trace_sink =
+                std::make_unique<sim::JsonlTraceSink>(*trace_os);
+        else
+            trace_sink =
+                std::make_unique<sim::TextTraceSink>(*trace_os);
+        if (!trace_cats.empty())
+            trace_sink->enableOnly(
+                parseTraceCats(trace_cats, argv[0]));
+        config.traceSink = trace_sink.get();
     }
 
     runner::Simulation simulation(config);
@@ -154,9 +285,29 @@ main(int argc, char **argv)
                 100.0 * b.frac(b.tx), 100.0 * b.frac(b.aborted),
                 100.0 * b.frac(b.sched), 100.0 * b.frac(b.idle));
 
+    const runner::PredictionQuality &pq = r.prediction;
+    std::printf("prediction        stalls %llu  TP %llu  FP %llu  "
+                "FN %llu  (precision %.2f recall %.2f)\n",
+                static_cast<unsigned long long>(pq.predictedStalls),
+                static_cast<unsigned long long>(pq.truePositives),
+                static_cast<unsigned long long>(pq.falsePositives),
+                static_cast<unsigned long long>(pq.falseNegatives),
+                pq.precision(), pq.recall());
+
     if (with_stats) {
         std::printf("\n-- component statistics --\n");
         simulation.dumpStats(std::cout);
+    }
+
+    if (!json_path.empty()) {
+        std::ofstream json_file(json_path);
+        if (!json_file) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+        const std::string name = r.workload + "-" + r.cm;
+        writeJsonReport(json_file, name, config, r, simulation);
     }
 
     if (with_baseline) {

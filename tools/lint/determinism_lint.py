@@ -30,6 +30,15 @@ code patterns that most often break that property in C++ codebases:
                         state), so "ordered" iteration is still
                         nondeterministic.
 
+  raw-output            Raw std::cout / printf / fprintf in the model
+                        directories (sim/, cm/, cpu/, htm/, mem/,
+                        os/) outside the sanctioned output layers
+                        (sim/logging.*, sim/stats.*, sim/trace.*,
+                        sim/json.*). Model code must report through
+                        counters, histograms, and trace sinks so
+                        every observable is machine-readable and
+                        byte-reproducible; ad-hoc prints are neither.
+
 Suppressions
 ------------
 A finding is suppressed by a comment on the same line, or on a
@@ -85,10 +94,30 @@ POINTER_KEYED = re.compile(
     r"\s*\*"
 )
 
+# Directories whose code must not print directly (model code).
+RAW_OUTPUT_DIRS = ("sim", "cm", "cpu", "htm", "mem", "os")
+
+# The sanctioned output layers themselves.
+RAW_OUTPUT_FILES = (
+    "sim/logging.h", "sim/logging.cpp",
+    "sim/stats.h", "sim/stats.cpp",
+    "sim/trace.h", "sim/trace.cpp",
+    "sim/json.h", "sim/json.cpp",
+)
+
+RAW_OUTPUT = [
+    (re.compile(r"std\s*::\s*cout"), "std::cout"),
+    # Matches printf/fprintf (with or without std::) but not
+    # snprintf/vsnprintf, whose buffer writes are fine.
+    (re.compile(r"(?<![\w:])(?:std\s*::\s*)?f?printf\s*\("),
+     "printf()/fprintf()"),
+    (re.compile(r"(?<![\w:])(?:std\s*::\s*)?puts\s*\("), "puts()"),
+]
+
 ALLOW_RE = re.compile(r"lint:allow\(([\w-]+)\)(:?)\s*(\S?)")
 
 KNOWN_RULES = ("unordered-iteration", "banned-random",
-               "pointer-keyed-ordered")
+               "pointer-keyed-ordered", "raw-output")
 
 IDENT = r"[A-Za-z_]\w*"
 
@@ -277,6 +306,18 @@ def find_banned_random(path, stripped):
     return findings
 
 
+def find_raw_output(path, stripped):
+    findings = []
+    for pattern, label in RAW_OUTPUT:
+        for match in pattern.finditer(stripped):
+            findings.append(Finding(
+                path, line_of(stripped, match.start()), "raw-output",
+                "%s bypasses the logging/stats/trace layers; report "
+                "through sim::StatGroup, sim::TraceSink, or "
+                "sim/logging.h instead" % label))
+    return findings
+
+
 def find_pointer_keyed(path, stripped):
     findings = []
     for match in POINTER_KEYED.finditer(stripped):
@@ -354,6 +395,9 @@ def lint_file(path, rel, src_root):
             rel, stripped, local, lint_file.shared_unordered_names)
     if rel.replace(os.sep, "/") not in RANDOM_POLICY_FILES:
         findings += find_banned_random(rel, stripped)
+    if top_dir in RAW_OUTPUT_DIRS \
+            and rel.replace(os.sep, "/") not in RAW_OUTPUT_FILES:
+        findings += find_raw_output(rel, stripped)
     findings += find_pointer_keyed(rel, stripped)
 
     allowed, bad = parse_suppressions(raw_lines)
@@ -397,7 +441,8 @@ def main(argv):
 
     if args.list_rules:
         for rule in ("unordered-iteration", "banned-random",
-                     "pointer-keyed-ordered", "bad-suppression"):
+                     "pointer-keyed-ordered", "raw-output",
+                     "bad-suppression"):
             print(rule)
         return 0
 

@@ -27,6 +27,10 @@ EXPECTED = [
     ("cm/bad_iter.h", 45, "unordered-iteration"),
     ("htm/ptr_key.h", 13, "pointer-keyed-ordered"),
     ("htm/ptr_key.h", 14, "pointer-keyed-ordered"),
+    ("mem/raw_out.cpp", 11, "raw-output"),
+    ("mem/raw_out.cpp", 12, "raw-output"),
+    ("mem/raw_out.cpp", 13, "raw-output"),
+    ("mem/raw_out.cpp", 14, "raw-output"),
     ("runner/bad_random.cpp", 14, "banned-random"),
     ("runner/bad_random.cpp", 15, "banned-random"),
     ("runner/bad_random.cpp", 17, "banned-random"),

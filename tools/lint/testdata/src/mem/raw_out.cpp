@@ -1,0 +1,22 @@
+// Fixture: raw output in a model directory. std::cout and the printf
+// family must be flagged; snprintf (buffer formatting) and suppressed
+// occurrences must not.
+
+#include <cstdio>
+#include <iostream>
+
+void
+report(int hits, double rate)
+{
+    std::cout << "hits " << hits << "\n";
+    std::printf("rate %.2f\n", rate);
+    fprintf(stderr, "debug rate %.2f\n", rate);
+    puts("done");
+
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", rate); // fine: no stream
+
+    // lint:allow(raw-output): temporary bring-up print, removed once
+    // the stat group lands.
+    std::printf("bring-up %d\n", hits);
+}

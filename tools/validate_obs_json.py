@@ -1,0 +1,236 @@
+#!/usr/bin/env python3
+"""Validate bfgts-obs-v1 JSON output (docs/observability.md).
+
+Three modes:
+
+  validate_obs_json.py FILE [FILE...]
+      Check existing documents against the schema.
+
+  validate_obs_json.py --cli PATH_TO_BFGTS_CLI
+      Run the CLI twice under different BFGTS_HASH_SEED values,
+      require byte-identical JSON reports and JSONL traces, and
+      schema-check the report (including predictor precision/recall,
+      histograms, and the Fig. 5 breakdown).
+
+  validate_obs_json.py --bench PATH_TO_BENCH_BINARY
+      Run the bench with BFGTS_QUICK=1 and --json and schema-check
+      the emitted document.
+
+Exits non-zero on the first failure. Stdlib only.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCHEMA = "bfgts-obs-v1"
+
+CLI_ARGS = ["--workload", "Intruder", "--cm", "BFGTS-HW", "--tx", "10"]
+
+TRACE_KEYS = {"tick", "cpu", "thread", "sTx", "dTx", "cat", "event"}
+TRACE_CATS = {"tx", "sched", "cm", "predictor", "mem"}
+BREAKDOWN_KEYS = {"nonTx", "kernel", "tx", "aborted", "sched", "idle"}
+
+
+def fail(msg):
+    print(f"validate_obs_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def check_histogram(hist, where):
+    check(isinstance(hist, dict), f"{where}: histogram is not an object")
+    for key in ("count", "mean", "scale", "buckets"):
+        check(key in hist, f"{where}: histogram lacks '{key}'")
+    check(hist["scale"] in ("log2", "linear"),
+          f"{where}: bad scale {hist['scale']!r}")
+    total = 0
+    for bucket in hist["buckets"]:
+        for key in ("lo", "hi", "n"):
+            check(key in bucket, f"{where}: bucket lacks '{key}'")
+        check(bucket["n"] > 0, f"{where}: zero bucket was emitted")
+        if bucket["hi"] is not None:
+            check(bucket["lo"] < bucket["hi"],
+                  f"{where}: bucket edges out of order")
+        total += bucket["n"]
+    check(total == hist["count"],
+          f"{where}: bucket counts {total} != count {hist['count']}")
+
+
+def check_envelope(doc, where):
+    check(isinstance(doc, dict), f"{where}: root is not an object")
+    check(doc.get("schema") == SCHEMA,
+          f"{where}: schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    check(doc.get("kind") in ("run", "bench"),
+          f"{where}: bad kind {doc.get('kind')!r}")
+    check(isinstance(doc.get("name"), str) and doc["name"],
+          f"{where}: missing name")
+    check(isinstance(doc.get("git"), str) and doc["git"],
+          f"{where}: missing git describe")
+
+
+def check_run(doc, where):
+    check_envelope(doc, where)
+    check(doc["kind"] == "run", f"{where}: kind is not 'run'")
+    for key in ("config", "results", "stats", "predictor_quality",
+                "similarity_per_site"):
+        check(key in doc, f"{where}: missing top-level '{key}'")
+    config = doc["config"]
+    for key in ("workload", "cm", "cpus", "threadsPerCpu", "seed"):
+        check(key in config, f"{where}: config lacks '{key}'")
+    results = doc["results"]
+    for key in ("runtime", "commits", "aborts", "contentionRate",
+                "breakdown"):
+        check(key in results, f"{where}: results lacks '{key}'")
+    missing = BREAKDOWN_KEYS - results["breakdown"].keys()
+    check(not missing, f"{where}: breakdown lacks {sorted(missing)}")
+    frac_sum = sum(results["breakdown"][k + "Frac"]
+                   for k in sorted(BREAKDOWN_KEYS))
+    check(abs(frac_sum - 1.0) < 1e-9,
+          f"{where}: breakdown fractions sum to {frac_sum}")
+
+    quality = doc["predictor_quality"]
+    for key in ("predictedStalls", "truePositives", "falsePositives",
+                "falseNegatives", "predictedAborts", "precision",
+                "recall", "perSite"):
+        check(key in quality, f"{where}: predictor_quality lacks '{key}'")
+    for metric in ("precision", "recall"):
+        check(0.0 <= quality[metric] <= 1.0,
+              f"{where}: {metric} {quality[metric]} out of [0,1]")
+    check(isinstance(quality["perSite"], list),
+          f"{where}: perSite is not an array")
+
+    stats = doc["stats"]
+    for group in ("mem", "htm", "predictor", "predictor.quality", "os",
+                  "runner"):
+        check(group in stats, f"{where}: stats lacks group '{group}'")
+    check_histogram(stats["runner"]["abortCycles"],
+                    f"{where}: runner.abortCycles")
+    check_histogram(stats["runner"]["stallCycles"],
+                    f"{where}: runner.stallCycles")
+    if "bfgts" in stats:
+        check_histogram(stats["bfgts"]["similarity"],
+                        f"{where}: bfgts.similarity")
+        check_histogram(stats["bfgts"]["confidence"],
+                        f"{where}: bfgts.confidence")
+    check(isinstance(doc["similarity_per_site"], list),
+          f"{where}: similarity_per_site is not an array")
+
+
+def check_bench(doc, where):
+    check_envelope(doc, where)
+    check(doc["kind"] == "bench", f"{where}: kind is not 'bench'")
+    check("options" in doc, f"{where}: missing options")
+    check(isinstance(doc.get("rows"), list) and doc["rows"],
+          f"{where}: rows missing or empty")
+    keys = list(doc["rows"][0].keys())
+    for i, row in enumerate(doc["rows"]):
+        check(isinstance(row, dict), f"{where}: row {i} not an object")
+        check(list(row.keys()) == keys,
+              f"{where}: row {i} keys differ from row 0")
+
+
+def check_trace_jsonl(path):
+    with open(path, "rb") as fh:
+        lines = fh.read().splitlines()
+    check(lines, f"{path}: empty trace")
+    for i, line in enumerate(lines):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            fail(f"{path}:{i + 1}: invalid JSON ({exc})")
+        missing = TRACE_KEYS - record.keys()
+        check(not missing, f"{path}:{i + 1}: lacks {sorted(missing)}")
+        check(record["cat"] in TRACE_CATS,
+              f"{path}:{i + 1}: bad category {record['cat']!r}")
+        check(isinstance(record["tick"], int) and record["tick"] >= 0,
+              f"{path}:{i + 1}: bad tick")
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"{path}: cannot load ({exc})")
+
+
+def run(cmd, env_extra=None, cwd=None):
+    env = dict(os.environ)
+    if env_extra:
+        env.update(env_extra)
+    result = subprocess.run(cmd, env=env, cwd=cwd,
+                            stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT)
+    if result.returncode != 0:
+        fail(f"{' '.join(cmd)} exited {result.returncode}:\n"
+             f"{result.stdout.decode(errors='replace')}")
+
+
+def mode_cli(cli, workdir):
+    outputs = []
+    for seed in ("0x0123456789abcdef", "0xfedcba9876543210"):
+        json_path = os.path.join(workdir, f"run-{seed}.json")
+        trace_path = os.path.join(workdir, f"run-{seed}.jsonl")
+        run([cli, *CLI_ARGS, "--json", json_path, "--trace",
+             trace_path, "--trace-jsonl"],
+            env_extra={"BFGTS_HASH_SEED": seed})
+        with open(json_path, "rb") as fh:
+            report = fh.read()
+        with open(trace_path, "rb") as fh:
+            trace = fh.read()
+        outputs.append((report, trace))
+        check_run(load(json_path), json_path)
+        check_trace_jsonl(trace_path)
+    check(outputs[0][0] == outputs[1][0],
+          "JSON report differs across BFGTS_HASH_SEED values")
+    check(outputs[0][1] == outputs[1][1],
+          "JSONL trace differs across BFGTS_HASH_SEED values")
+    print("validate_obs_json: cli OK (report + trace byte-identical "
+          "across hash seeds)")
+
+
+def mode_bench(bench, workdir):
+    json_path = os.path.join(
+        workdir, f"BENCH_{os.path.basename(bench)}.json")
+    run([bench, "--json", json_path], cwd=workdir,
+        env_extra={"BFGTS_QUICK": "1"})
+    check_bench(load(json_path), json_path)
+    print(f"validate_obs_json: bench OK ({os.path.basename(bench)})")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="*", help="documents to check")
+    parser.add_argument("--cli", help="bfgts_cli binary to exercise")
+    parser.add_argument("--bench", help="bench binary to exercise")
+    args = parser.parse_args()
+
+    if not args.files and not args.cli and not args.bench:
+        parser.error("nothing to do")
+
+    for path in args.files:
+        doc = load(path)
+        check_envelope(doc, path)
+        if doc["kind"] == "run":
+            check_run(doc, path)
+        else:
+            check_bench(doc, path)
+        print(f"validate_obs_json: {path} OK")
+
+    with tempfile.TemporaryDirectory() as workdir:
+        if args.cli:
+            mode_cli(args.cli, workdir)
+        if args.bench:
+            mode_bench(args.bench, workdir)
+
+
+if __name__ == "__main__":
+    main()
