@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tracing-overhead microbench: a fully-filtered sink must be free.
+ *
+ * Every emission site in the runner is guarded by wants(), so a sink
+ * whose category mask is empty should cost one mask test per event
+ * and nothing else -- no detail-string construction, no record
+ * building. This bench runs the same simulation with tracing
+ * disabled (no sink) and with a sink that filters every category,
+ * and asserts the filtered run is within a small tolerance of the
+ * disabled run (default 2%, override with BFGTS_TRACE_OVERHEAD_TOL,
+ * e.g. =0.05 for noisy CI machines).
+ *
+ * Methodology: the two configurations alternate rep by rep and the
+ * minimum wall time of each is compared, which discards scheduler
+ * noise instead of averaging it in.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_util.h"
+#include "runner/simulation.h"
+#include "sim/trace.h"
+
+namespace {
+
+/** A sink that counts records it renders (should stay at zero). */
+class CountingSink : public sim::TraceSink
+{
+  public:
+    std::uint64_t rendered = 0;
+
+  protected:
+    void write(const sim::TraceRecord &) override { ++rendered; }
+};
+
+double
+runOnce(const runner::SimConfig &config)
+{
+    runner::Simulation simulation(config);
+    const auto t0 = std::chrono::steady_clock::now();
+    simulation.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("micro: fully-filtered trace sink overhead");
+    bench::JsonReporter json("micro_trace_overhead", argc, argv);
+
+    runner::RunOptions options = bench::defaultOptions();
+    if (!bench::quickMode())
+        options.txPerThread = 60;
+
+    runner::SimConfig base =
+        runner::makeConfig("Intruder", cm::CmKind::BfgtsHw, options);
+
+    CountingSink filtered_sink;
+    filtered_sink.enableOnly({});
+    runner::SimConfig filtered = base;
+    filtered.traceSink = &filtered_sink;
+
+    double tolerance = 0.02;
+    if (const char *env = std::getenv("BFGTS_TRACE_OVERHEAD_TOL"))
+        tolerance = std::atof(env);
+
+    // Warm-up run (page in code and workload data), then alternate.
+    runOnce(base);
+    const int reps = bench::quickMode() ? 3 : 5;
+    double min_off = 1e30;
+    double min_filtered = 1e30;
+    for (int rep = 0; rep < reps; ++rep) {
+        min_off = std::min(min_off, runOnce(base));
+        min_filtered = std::min(min_filtered, runOnce(filtered));
+    }
+
+    const double overhead = min_filtered / min_off - 1.0;
+    std::printf("  tracing off      %8.1f ms\n", min_off * 1e3);
+    std::printf("  filtered sink    %8.1f ms\n", min_filtered * 1e3);
+    std::printf("  overhead         %+7.2f%%  (tolerance %.0f%%)\n",
+                100.0 * overhead, 100.0 * tolerance);
+    std::printf("  records rendered %llu (expect 0)\n",
+                static_cast<unsigned long long>(
+                    filtered_sink.rendered));
+
+    json.addRow()
+        .set("offSeconds", min_off)
+        .set("filteredSeconds", min_filtered)
+        .set("overhead", overhead)
+        .set("tolerance", tolerance);
+    if (!json.write())
+        return 1;
+
+    if (filtered_sink.rendered != 0) {
+        std::printf("FAIL: filtered sink rendered records\n");
+        return 1;
+    }
+    if (overhead > tolerance) {
+        std::printf("FAIL: filtered-sink overhead above tolerance\n");
+        return 1;
+    }
+    std::printf("OK\n");
+    return 0;
+}

@@ -47,7 +47,7 @@ class GreedyLimitManager : public cm::ContentionManagerBase
         cm::BeginDecision decision;
         decision.cost.sched = 4; // one counter read
         if (running_[static_cast<std::size_t>(tx.sTx)] >= limit_) {
-            trackSerialization();
+            trackSerialization(kUnknownSite, tx.sTx);
             // No specific enemy: just get off the CPU and retry.
             decision.action = cm::BeginAction::YieldOn;
         }

@@ -51,6 +51,17 @@ AtsManager::pressure(htm::STxId stx) const
     return pressure_[static_cast<std::size_t>(stx)];
 }
 
+double
+AtsManager::meanPressure() const
+{
+    double sum = 0.0;
+    for (double p : pressure_)
+        sum += p;
+    return pressure_.empty()
+               ? 0.0
+               : sum / static_cast<double>(pressure_.size());
+}
+
 void
 AtsManager::updatePressure(htm::STxId stx, bool conflicted)
 {
@@ -78,7 +89,9 @@ AtsManager::onTxBegin(const TxInfo &tx)
     if (pressure(tx.sTx) <= threshold_)
         return decision; // bypass the queue entirely
 
-    trackSerialization();
+    // The central queue serializes against whoever holds the token,
+    // not a known enemy transaction.
+    trackSerialization(kUnknownSite, tx.sTx);
     if (tokenHolder_ == sim::kNoThread
         && tokenPromise_ == sim::kNoThread && waitQueue_.empty()) {
         tokenHolder_ = tx.thread;

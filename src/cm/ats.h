@@ -79,6 +79,9 @@ class AtsManager : public ContentionManagerBase
     /** Current conflict pressure of a transaction site (tests). */
     double pressure(htm::STxId stx) const;
 
+    /** Mean conflict pressure over all sites (sim::Sampler gauge). */
+    double meanPressure() const;
+
     /** Current serialization threshold (fixed or self-tuned). */
     double threshold() const { return threshold_; }
 

@@ -15,6 +15,9 @@
 #ifndef BFGTS_CM_BASE_H
 #define BFGTS_CM_BASE_H
 
+#include <cstdint>
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "cm/contention_manager.h"
@@ -77,6 +80,20 @@ class ContentionManagerBase : public ContentionManager
     const sim::Counter &aborts() const { return aborts_; }
     const sim::Counter &serializations() const { return serializations_; }
 
+    /**
+     * Begin-time serializations per (winner sTx, victim sTx) edge:
+     * how often each site was made to wait behind each other site.
+     * Winner kUnknownSite means the CM serialized without naming an
+     * enemy transaction (ATS's central token queue). Ordered map, so
+     * iteration is deterministic.
+     */
+    static constexpr int kUnknownSite = -1;
+    const std::map<std::pair<int, int>, std::uint64_t> &
+    serializationEdges() const
+    {
+        return serializationEdges_;
+    }
+
   protected:
     /** Record that @p tx started running (call from onTxStart). */
     void
@@ -98,8 +115,15 @@ class ContentionManagerBase : public ContentionManager
             aborts_.inc();
     }
 
-    /** Count a begin-time serialization decision. */
-    void trackSerialization() { serializations_.inc(); }
+    /** Count a begin-time serialization decision and attribute the
+     *  (winner, victim) site edge; kUnknownSite when the CM has no
+     *  specific enemy (token-based schemes). */
+    void
+    trackSerialization(int winner_stx, int victim_stx)
+    {
+        serializations_.inc();
+        ++serializationEdges_[{winner_stx, victim_stx}];
+    }
 
     Services services_;
 
@@ -108,6 +132,7 @@ class ContentionManagerBase : public ContentionManager
     sim::Counter commits_;
     sim::Counter aborts_;
     sim::Counter serializations_;
+    std::map<std::pair<int, int>, std::uint64_t> serializationEdges_;
 };
 
 } // namespace cm

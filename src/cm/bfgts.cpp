@@ -123,6 +123,48 @@ BfgtsManager::pressure(htm::STxId stx) const
     return pressure_[static_cast<std::size_t>(slotOf(stx))];
 }
 
+double
+BfgtsManager::meanConfidence() const
+{
+    if (conf_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double entry : conf_)
+        sum += entry;
+    return sum / static_cast<double>(conf_.size());
+}
+
+double
+BfgtsManager::meanBloomOccupancy() const
+{
+    double sum = 0.0;
+    std::size_t live = 0;
+    for (const DtxStats &stats : stats_) {
+        if (!stats.lastBloom)
+            continue;
+        const auto *sig = dynamic_cast<const bloom::BloomSignature *>(
+            stats.lastBloom.get());
+        if (sig == nullptr)
+            continue; // perfect signatures have no bit density
+        const bloom::BloomFilter &filter = sig->filter();
+        sum += static_cast<double>(filter.popCount())
+               / static_cast<double>(filter.numBits());
+        ++live;
+    }
+    return live == 0 ? 0.0 : sum / static_cast<double>(live);
+}
+
+double
+BfgtsManager::meanPressure() const
+{
+    if (pressure_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double p : pressure_)
+        sum += p;
+    return sum / static_cast<double>(pressure_.size());
+}
+
 void
 BfgtsManager::writeConfidence(htm::STxId row, htm::STxId col,
                               double delta)
@@ -165,7 +207,7 @@ BfgtsManager::suspend(const TxInfo &tx, htm::DTxId wait_on,
                       CmCost cost)
 {
     // suspendTx(), Example 2.
-    trackSerialization();
+    trackSerialization(ids_.staticOf(wait_on), tx.sTx);
     if (!noOverhead())
         cost.sched += config_.suspendCost;
     else

@@ -184,6 +184,18 @@ class BfgtsManager : public ContentionManagerBase
     /** Hybrid conflict pressure of a transaction site. */
     double pressure(htm::STxId stx) const;
 
+    // ---- time-series gauges (sim::Sampler) ---------------------------
+
+    /** Mean confidence-table entry over all slots (0..255 scale). */
+    double meanConfidence() const;
+
+    /** Mean set-bit fraction over live Bloom signatures; 0 when no
+     *  signature exists yet or signatures are perfect sets. */
+    double meanBloomOccupancy() const;
+
+    /** Mean hybrid conflict pressure over transaction sites. */
+    double meanPressure() const;
+
     /** Number of begins that skipped prediction (hybrid gating). */
     const sim::Counter &gatedBegins() const { return gatedBegins_; }
 

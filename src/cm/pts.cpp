@@ -57,7 +57,7 @@ PtsManager::onTxBegin(const TxInfo &tx)
         decision.cost.sched += config_.scanPerEntryCost;
         if (confidence(tx.dTx, running)
             > static_cast<double>(config_.confThreshold)) {
-            trackSerialization();
+            trackSerialization(ids_.staticOf(running), tx.sTx);
             // Decay the consulted edge so repeated serializations
             // eventually let the pair run concurrently again.
             bumpConfidence(tx.dTx, running, -config_.suspendDecay);

@@ -122,6 +122,14 @@ class OsScheduler
     /** Currently running thread on @p cpu (kNoThread if idle). */
     sim::ThreadId runningOn(sim::CpuId cpu) const;
 
+    /** Threads waiting in @p cpu's ready queue (excludes running). */
+    int
+    readyCount(sim::CpuId cpu) const
+    {
+        return static_cast<int>(
+            cpus_[static_cast<std::size_t>(cpu)].readyQueue.size());
+    }
+
     /** True when every registered thread has finished. */
     bool allFinished() const;
 

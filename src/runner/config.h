@@ -25,6 +25,10 @@
 #include "sim/trace.h"
 #include "workloads/workload.h"
 
+namespace sim {
+class Sampler;
+}
+
 namespace runner {
 
 /** Builds the workload for a run (given the thread count). */
@@ -101,6 +105,16 @@ struct SimConfig {
      * and tests; adds no simulated cost.
      */
     sim::TraceSink *traceSink = nullptr;
+
+    /**
+     * When set, run() drives this interval sampler on the simulation
+     * event queue: it snapshots windowed counters and gauges every
+     * sampler interval and emits the bfgts-ts-v1 time-series
+     * (docs/observability.md). Observational only; adds no simulated
+     * cost. The caller owns the sampler and reads its windows and
+     * summary after run().
+     */
+    sim::Sampler *sampler = nullptr;
 
     /** Total software threads. */
     int

@@ -99,6 +99,19 @@ struct PredictionQuality {
     }
 };
 
+/**
+ * Per-(winner, victim) abort attribution. An abort's "winner" is the
+ * enemy transaction that survived the conflict; the victim is the one
+ * rolled back. Keys are static transaction IDs, so edges aggregate
+ * over threads and executions into a who-aborts-whom graph.
+ */
+struct ConflictEdgeStats {
+    /** Aborts this edge inflicted on the victim site. */
+    std::uint64_t aborts = 0;
+    /** Victim cycles thrown away across those aborts. */
+    sim::Cycles wastedCycles = 0;
+};
+
 /** Everything one simulation run reports. */
 struct SimResults {
     std::string workload;
@@ -133,6 +146,15 @@ struct SimResults {
 
     /** Aborts per (min,max) site pair (diagnostics). */
     std::map<std::pair<int, int>, std::uint64_t> abortPairs;
+
+    /** Directed abort attribution: (winner sTx, victim sTx) ->
+     *  abort count and wasted victim cycles. Unlike abortPairs this
+     *  keeps direction, so asymmetric bullying is visible. */
+    std::map<std::pair<int, int>, ConflictEdgeStats> abortEdges;
+
+    /** Begin-time serializations per (winner sTx, victim sTx) edge;
+     *  winner -1 = serialized on a token/queue, not a named enemy. */
+    std::map<std::pair<int, int>, std::uint64_t> serializationEdges;
 };
 
 } // namespace runner

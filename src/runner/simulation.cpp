@@ -2,9 +2,11 @@
 
 #include <algorithm>
 
+#include "cm/ats.h"
 #include "cm/bfgts.h"
 #include "sim/json.h"
 #include "sim/logging.h"
+#include "sim/sampler.h"
 #include "workloads/stamp.h"
 
 namespace runner {
@@ -301,10 +303,14 @@ Simulation::doTxBegin(Worker &worker)
         sitePrediction_[static_cast<std::size_t>(info.sTx)]
             .predictedStalls.inc();
         worker.lastSerializedOn = decision.waitOn;
-        trace(worker, sim::TraceCategory::Predictor, "predict",
-              {{"on", std::to_string(decision.waitOn)}});
-        trace(worker, sim::TraceCategory::Sched, "suspend-stall",
-              {{"on", std::to_string(decision.waitOn)}});
+        if (wantsTrace(sim::TraceCategory::Predictor)) {
+            trace(worker, sim::TraceCategory::Predictor, "predict",
+                  {{"on", std::to_string(decision.waitOn)}});
+        }
+        if (wantsTrace(sim::TraceCategory::Sched)) {
+            trace(worker, sim::TraceCategory::Sched, "suspend-stall",
+                  {{"on", std::to_string(decision.waitOn)}});
+        }
         worker.stallOn = decision.waitOn;
         worker.stallStart = events_.curTick();
         worker.phase = Phase::BeginStall;
@@ -315,10 +321,14 @@ Simulation::doTxBegin(Worker &worker)
         sitePrediction_[static_cast<std::size_t>(info.sTx)]
             .predictedStalls.inc();
         worker.lastSerializedOn = decision.waitOn;
-        trace(worker, sim::TraceCategory::Predictor, "predict",
-              {{"on", std::to_string(decision.waitOn)}});
-        trace(worker, sim::TraceCategory::Sched, "suspend-yield",
-              {{"on", std::to_string(decision.waitOn)}});
+        if (wantsTrace(sim::TraceCategory::Predictor)) {
+            trace(worker, sim::TraceCategory::Predictor, "predict",
+                  {{"on", std::to_string(decision.waitOn)}});
+        }
+        if (wantsTrace(sim::TraceCategory::Sched)) {
+            trace(worker, sim::TraceCategory::Sched, "suspend-yield",
+                  {{"on", std::to_string(decision.waitOn)}});
+        }
         worker.phase = Phase::YieldNow;
         if (decision.cost.sched + decision.cost.kernel == 0)
             return true;
@@ -343,6 +353,13 @@ Simulation::doBeginStall(Worker &worker)
     if (!isTxRunning(worker.stallOn)) {
         stallCyclesHist_.sample(static_cast<double>(
             events_.curTick() - worker.stallStart));
+        if (wantsTrace(sim::TraceCategory::Sched)) {
+            trace(worker, sim::TraceCategory::Sched, "stall-end",
+                  {{"on", std::to_string(worker.stallOn)},
+                   {"cycles",
+                    std::to_string(events_.curTick()
+                                   - worker.stallStart)}});
+        }
         worker.phase = Phase::TxBegin;
         return true;
     }
@@ -351,12 +368,17 @@ Simulation::doBeginStall(Worker &worker)
         stallTimeouts_.inc();
         stallCyclesHist_.sample(static_cast<double>(
             events_.curTick() - worker.stallStart));
-        trace(worker, sim::TraceCategory::Sched, "stall-timeout",
-              {{"on", std::to_string(worker.stallOn)}});
+        if (wantsTrace(sim::TraceCategory::Sched)) {
+            trace(worker, sim::TraceCategory::Sched, "stall-timeout",
+                  {{"on", std::to_string(worker.stallOn)}});
+        }
         worker.phase = Phase::TxBegin;
         return true;
     }
     if (sched_->shouldPreempt(worker.tid)) {
+        // The stall window closes with the CPU: timeline spans must
+        // not show this thread spinning while another one runs here.
+        trace(worker, sim::TraceCategory::Sched, "preempt");
         sched_->preemptCurrent(worker.tid);
         return false;
     }
@@ -438,10 +460,18 @@ Simulation::doTxAccess(Worker &worker)
         for (const htm::TxState *holder : result.conflicts) {
             if (!worker.reportedEnemies.insert(holder->dTxId).second)
                 continue;
-            trace(worker, sim::TraceCategory::Cm, "conflict",
-                  {{"enemy", std::to_string(holder->dTxId)},
-                   {"line", std::to_string(line)},
-                   {"write", access.write ? "1" : "0"}});
+            if (wantsTrace(sim::TraceCategory::Cm)) {
+                std::vector<std::pair<std::string, std::string>>
+                    details;
+                details.reserve(3);
+                details.emplace_back("enemy",
+                                     std::to_string(holder->dTxId));
+                details.emplace_back("line", std::to_string(line));
+                details.emplace_back("write",
+                                     access.write ? "1" : "0");
+                trace(worker, sim::TraceCategory::Cm, "conflict",
+                      std::move(details));
+            }
             const cm::CmCost cost = cm_->onConflictDetected(
                 infoFor(worker), infoFor(*holder));
             notify_charges.push_back({cost.sched, Bucket::Sched});
@@ -540,13 +570,26 @@ Simulation::abortTx(Worker &worker, const cm::TxInfo &enemy)
             site.predictedAborts.inc();
         worker.attemptSerializedOn = htm::kNoTx;
     }
-    trace(worker, sim::TraceCategory::Tx, "abort",
-          {{"enemy", std::to_string(enemy.dTx)},
-           {"wasted", std::to_string(worker.attemptCycles)}});
+    const int victim_stx = ids_->staticOf(worker.tx.dTxId);
+    const int winner_stx =
+        enemy.dTx != htm::kNoTx ? enemy.sTx : victim_stx;
+    if (wantsTrace(sim::TraceCategory::Tx)) {
+        std::vector<std::pair<std::string, std::string>> details;
+        details.reserve(3);
+        details.emplace_back("enemy", std::to_string(enemy.dTx));
+        details.emplace_back("enemySTx", std::to_string(winner_stx));
+        details.emplace_back("wasted",
+                             std::to_string(worker.attemptCycles));
+        trace(worker, sim::TraceCategory::Tx, "abort",
+              std::move(details));
+    }
+    ++abortPairs_[{std::min(winner_stx, victim_stx),
+                   std::max(winner_stx, victim_stx)}];
     {
-        const int a = ids_->staticOf(worker.tx.dTxId);
-        const int b = enemy.dTx != htm::kNoTx ? enemy.sTx : a;
-        ++abortPairs_[{std::min(a, b), std::max(a, b)}];
+        ConflictEdgeStats &edge =
+            abortEdges_[{winner_stx, victim_stx}];
+        ++edge.aborts;
+        edge.wastedCycles += worker.attemptCycles;
     }
     ++worker.descriptorAborts;
     worker.buckets.aborted += worker.attemptCycles;
@@ -554,8 +597,10 @@ Simulation::abortTx(Worker &worker, const cm::TxInfo &enemy)
 
     // Walk the undo log backwards in software (LogTM abort).
     const sim::Cycles rollback = worker.undoLog.abort();
-    trace(worker, sim::TraceCategory::Mem, "rollback",
-          {{"cycles", std::to_string(rollback)}});
+    if (wantsTrace(sim::TraceCategory::Mem)) {
+        trace(worker, sim::TraceCategory::Mem, "rollback",
+              {{"cycles", std::to_string(rollback)}});
+    }
 
     const cm::AbortResponse resp =
         cm_->onTxAbort(infoFor(worker), enemy);
@@ -610,8 +655,10 @@ Simulation::doCommitDone(Worker &worker)
     const cm::CmCost cost = cm_->onTxCommit(infoFor(worker), rw_lines);
 
     commits_.inc();
-    trace(worker, sim::TraceCategory::Tx, "commit",
-          {{"lines", std::to_string(rw_lines.size())}});
+    if (wantsTrace(sim::TraceCategory::Tx)) {
+        trace(worker, sim::TraceCategory::Tx, "commit",
+              {{"lines", std::to_string(rw_lines.size())}});
+    }
     // Classify before recordSimilarity: the enemy's lastSet must
     // still hold the set it most recently committed.
     classifyPrediction(worker, rw_lines);
@@ -876,14 +923,64 @@ Simulation::dumpStatsJson(sim::JsonWriter &jw) const
     jw.endArray();
 }
 
+void
+Simulation::sampleSnapshot(sim::SampleCounts &counts,
+                           sim::SampleGauges &gauges) const
+{
+    counts.commits = commits_.value();
+    counts.aborts = aborts_.value();
+    counts.conflicts = conflicts_.value();
+    counts.stallTimeouts = stallTimeouts_.value();
+    for (const SitePrediction &site : sitePrediction_)
+        counts.predictedStalls += site.predictedStalls.value();
+
+    for (int cpu = 0; cpu < config_.numCpus; ++cpu) {
+        gauges.readyQueueDepth += sched_->readyCount(cpu);
+        const sim::ThreadId tid = sched_->runningOn(cpu);
+        if (tid == sim::kNoThread)
+            continue;
+        ++gauges.cpusRunning;
+        if (workers_[static_cast<std::size_t>(tid)].phase
+            == Phase::BeginStall) {
+            ++gauges.cpusStalled;
+        }
+    }
+
+    if (const auto *bfgts =
+            dynamic_cast<const cm::BfgtsManager *>(cm_.get())) {
+        gauges.meanConfidence = bfgts->meanConfidence();
+        gauges.bloomOccupancy = bfgts->meanBloomOccupancy();
+        gauges.conflictPressure = bfgts->meanPressure();
+    } else if (const auto *ats =
+                   dynamic_cast<const cm::AtsManager *>(cm_.get())) {
+        gauges.conflictPressure = ats->meanPressure();
+    }
+}
+
 SimResults
 Simulation::run()
 {
     sim_assert(!ran_);
     ran_ = true;
 
+    if (config_.sampler != nullptr) {
+        config_.sampler->start(
+            events_,
+            [this](sim::SampleCounts &counts,
+                   sim::SampleGauges &gauges) {
+                sampleSnapshot(counts, gauges);
+            },
+            // Once every thread finished, the sampler must stop
+            // rescheduling itself or the queue would never drain;
+            // the tail lands in the final partial window below.
+            [this] { return !sched_->allFinished(); });
+    }
+
     sched_->start();
     events_.run();
+
+    if (config_.sampler != nullptr)
+        config_.sampler->finish(lastFinish_);
 
     if (!sched_->allFinished()) {
         sim_panic("simulation drained with %d/%d threads unfinished",
@@ -944,6 +1041,11 @@ Simulation::run()
         results.similarityPerSite.push_back(acc.mean());
     results.conflictGraph = conflictGraph_;
     results.abortPairs = abortPairs_;
+    results.abortEdges = abortEdges_;
+    if (auto *base =
+            dynamic_cast<cm::ContentionManagerBase *>(cm_.get())) {
+        results.serializationEdges = base->serializationEdges();
+    }
     return results;
 }
 

@@ -42,6 +42,8 @@
 
 namespace sim {
 class JsonWriter;
+struct SampleCounts;
+struct SampleGauges;
 }
 
 namespace runner {
@@ -160,6 +162,19 @@ class Simulation
                std::vector<std::pair<std::string, std::string>>
                    details = {});
 
+    /** Would a record of @p category be rendered? Emission sites use
+     *  this to skip building detail strings nobody consumes. */
+    bool
+    wantsTrace(sim::TraceCategory category) const
+    {
+        return config_.traceSink != nullptr
+            && config_.traceSink->wants(category);
+    }
+
+    /** Fill the sampler's cumulative counts and current gauges. */
+    void sampleSnapshot(sim::SampleCounts &counts,
+                        sim::SampleGauges &gauges) const;
+
     /** Classify a serialized attempt's outcome at commit time. */
     void classifyPrediction(const Worker &worker,
                             const std::vector<mem::Addr> &rw_lines);
@@ -228,6 +243,8 @@ class Simulation
     std::vector<sim::Accumulator> siteSim_;   // per sTxId
     std::set<std::pair<int, int>> conflictGraph_;
     std::map<std::pair<int, int>, std::uint64_t> abortPairs_;
+    /** Directed (winner sTx, victim sTx) abort attribution. */
+    std::map<std::pair<int, int>, ConflictEdgeStats> abortEdges_;
 };
 
 } // namespace runner

@@ -1,0 +1,243 @@
+#include "chrome_trace.h"
+
+#include <cstring>
+
+#include "sim/json.h"
+
+namespace sim {
+
+namespace {
+
+/** Shared event prefix: name, phase, timestamp, track. */
+void
+eventHead(JsonWriter &jw, const std::string &name, const char *phase,
+          Tick ts, int tid)
+{
+    jw.kv("name", name);
+    jw.kv("ph", phase);
+    jw.kv("ts", static_cast<std::uint64_t>(ts));
+    jw.kv("pid", 0);
+    jw.kv("tid", tid);
+}
+
+/** Copy a record's details into the open "args" object. */
+void
+detailArgs(JsonWriter &jw, const TraceRecord &record)
+{
+    jw.kv("thread", static_cast<int>(record.thread));
+    jw.kv("sTx", record.sTx);
+    jw.kv("dTx", record.dTx);
+    for (const auto &kv : record.details)
+        jw.kv(kv.first, kv.second);
+}
+
+} // namespace
+
+ChromeTraceSink::ChromeTraceSink(std::ostream &os) : os_(os)
+{
+    os_ << "{\"traceEvents\":[\n";
+    {
+        JsonWriter jw(os_, /*indent=*/0);
+        jw.beginObject();
+        jw.kv("name", "process_name");
+        jw.kv("ph", "M");
+        jw.kv("pid", 0);
+        jw.beginObject("args");
+        jw.kv("name", "bfgts-sim");
+        jw.endObject();
+        jw.endObject();
+    }
+    first_ = false;
+}
+
+ChromeTraceSink::~ChromeTraceSink() { close(); }
+
+void
+ChromeTraceSink::close()
+{
+    if (closed_)
+        return;
+    closed_ = true;
+    os_ << "\n]}\n";
+    os_.flush();
+}
+
+ChromeTraceSink::CpuTrack &
+ChromeTraceSink::track(CpuId cpu)
+{
+    const auto index =
+        static_cast<std::size_t>(cpu >= 0 ? cpu : 0);
+    if (index >= tracks_.size())
+        tracks_.resize(index + 1);
+    CpuTrack &t = tracks_[index];
+    if (!t.named) {
+        t.named = true;
+        nameTrack(static_cast<CpuId>(index));
+    }
+    return t;
+}
+
+void
+ChromeTraceSink::sep()
+{
+    if (!first_)
+        os_ << ",\n";
+    first_ = false;
+}
+
+void
+ChromeTraceSink::nameTrack(CpuId cpu)
+{
+    sep();
+    JsonWriter jw(os_, /*indent=*/0);
+    jw.beginObject();
+    jw.kv("name", "thread_name");
+    jw.kv("ph", "M");
+    jw.kv("pid", 0);
+    jw.kv("tid", static_cast<int>(cpu));
+    jw.beginObject("args");
+    jw.kv("name", "CPU " + std::to_string(cpu));
+    jw.endObject();
+    jw.endObject();
+}
+
+void
+ChromeTraceSink::counter(Tick tick, const char *name, double value)
+{
+    if (closed_)
+        return;
+    sep();
+    JsonWriter jw(os_, /*indent=*/0);
+    jw.beginObject();
+    eventHead(jw, name, "C", tick, 0);
+    jw.beginObject("args");
+    jw.kv("value", value);
+    jw.endObject();
+    jw.endObject();
+}
+
+void
+ChromeTraceSink::beginSlice(const TraceRecord &record, Slice kind,
+                            std::string name)
+{
+    CpuTrack &t = track(record.cpu);
+    sep();
+    JsonWriter jw(os_, /*indent=*/0);
+    jw.beginObject();
+    eventHead(jw, name, "B", record.tick,
+              static_cast<int>(record.cpu));
+    jw.beginObject("args");
+    detailArgs(jw, record);
+    jw.endObject();
+    jw.endObject();
+    t.open = kind;
+    t.openName = std::move(name);
+}
+
+void
+ChromeTraceSink::endSlice(CpuId cpu, Tick tick,
+                          const TraceRecord *record,
+                          const char *outcome)
+{
+    CpuTrack &t = track(cpu);
+    if (t.open == Slice::None)
+        return;
+    sep();
+    JsonWriter jw(os_, /*indent=*/0);
+    jw.beginObject();
+    eventHead(jw, t.openName, "E", tick, static_cast<int>(cpu));
+    if (record != nullptr) {
+        jw.beginObject("args");
+        if (outcome != nullptr)
+            jw.kv("outcome", outcome);
+        detailArgs(jw, *record);
+        jw.endObject();
+    }
+    jw.endObject();
+    t.open = Slice::None;
+    t.openName.clear();
+}
+
+void
+ChromeTraceSink::closeOpen(CpuId cpu, Tick tick)
+{
+    endSlice(cpu, tick);
+}
+
+void
+ChromeTraceSink::instant(const TraceRecord &record)
+{
+    track(record.cpu);
+    sep();
+    JsonWriter jw(os_, /*indent=*/0);
+    jw.beginObject();
+    eventHead(jw, record.event, "i", record.tick,
+              static_cast<int>(record.cpu));
+    jw.kv("s", "t");
+    jw.beginObject("args");
+    detailArgs(jw, record);
+    jw.endObject();
+    jw.endObject();
+}
+
+void
+ChromeTraceSink::write(const TraceRecord &record)
+{
+    if (closed_)
+        return;
+    const char *event = record.event;
+    const CpuId cpu = record.cpu;
+
+    if (std::strcmp(event, "start") == 0) {
+        closeOpen(cpu, record.tick);
+        beginSlice(record, Slice::Run,
+                   "run s" + std::to_string(record.sTx));
+        return;
+    }
+    if (std::strcmp(event, "commit") == 0) {
+        if (track(cpu).open == Slice::Run)
+            endSlice(cpu, record.tick, &record, "commit");
+        else
+            instant(record);
+        return;
+    }
+    if (std::strcmp(event, "abort") == 0) {
+        if (track(cpu).open == Slice::Run)
+            endSlice(cpu, record.tick, &record, "abort");
+        else
+            instant(record);
+        // Rollback + backoff + re-begin shows as a retry window.
+        beginSlice(record, Slice::Retry,
+                   "retry s" + std::to_string(record.sTx));
+        return;
+    }
+    if (std::strcmp(event, "suspend-stall") == 0) {
+        closeOpen(cpu, record.tick);
+        beginSlice(record, Slice::Stall,
+                   "stall s" + std::to_string(record.sTx));
+        return;
+    }
+    const bool stall_end = std::strcmp(event, "stall-end") == 0;
+    if (stall_end || std::strcmp(event, "stall-timeout") == 0) {
+        if (track(cpu).open == Slice::Stall) {
+            endSlice(cpu, record.tick, &record,
+                     stall_end ? "released" : "timeout");
+        } else {
+            instant(record);
+        }
+        return;
+    }
+    if (std::strcmp(event, "suspend-yield") == 0
+        || std::strcmp(event, "block") == 0
+        || std::strcmp(event, "preempt") == 0) {
+        // The thread leaves its CPU; whatever window was open there
+        // (a retry backoff or a stall) ends with it.
+        closeOpen(cpu, record.tick);
+        instant(record);
+        return;
+    }
+    // predict, conflict, rollback, and anything future.
+    instant(record);
+}
+
+} // namespace sim

@@ -92,8 +92,10 @@ class TraceSink
             write(record);
     }
 
-    /** Is @p category currently enabled? */
-    bool
+    /** Is @p category currently enabled? Virtual so composite sinks
+     *  (FanoutTraceSink) can answer for their children; emitters use
+     *  it to skip building detail strings nobody will render. */
+    virtual bool
     wants(TraceCategory category) const
     {
         return (mask_ & bit(category)) != 0;
@@ -151,6 +153,40 @@ class JsonlTraceSink : public TraceSink
 
   private:
     std::ostream &os_;
+};
+
+/**
+ * Forwards every record to several child sinks, so one run can feed
+ * e.g. a JSONL trace and a Chrome timeline at once. Each child still
+ * applies its own category mask; wants() answers true if any child
+ * does, so emitters build details exactly when someone renders them.
+ * Children are borrowed, not owned.
+ */
+class FanoutTraceSink : public TraceSink
+{
+  public:
+    void addSink(TraceSink *sink) { sinks_.push_back(sink); }
+
+    bool
+    wants(TraceCategory category) const override
+    {
+        for (const TraceSink *sink : sinks_) {
+            if (sink->wants(category))
+                return true;
+        }
+        return false;
+    }
+
+  protected:
+    void
+    write(const TraceRecord &record) override
+    {
+        for (TraceSink *sink : sinks_)
+            sink->emit(record);
+    }
+
+  private:
+    std::vector<TraceSink *> sinks_;
 };
 
 } // namespace sim

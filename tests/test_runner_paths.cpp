@@ -36,7 +36,7 @@ class AlwaysStallManager : public cm::ContentionManagerBase
             if (cpu == tx.cpu)
                 continue;
             if (runningOn(cpu) != htm::kNoTx) {
-                trackSerialization();
+                trackSerialization(kUnknownSite, tx.sTx);
                 decision.action = cm::BeginAction::StallOn;
                 decision.waitOn = runningOn(cpu);
                 decision.cost.sched = 5;

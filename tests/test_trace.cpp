@@ -11,6 +11,7 @@
 
 #include "runner/experiment.h"
 #include "runner/simulation.h"
+#include "sim/chrome_trace.h"
 #include "sim/trace.h"
 
 namespace {
@@ -119,6 +120,87 @@ TEST(Trace, CategoryNamesRoundTrip)
     }
     sim::TraceCategory parsed;
     EXPECT_FALSE(sim::traceCategoryFromName("bogus", &parsed));
+    EXPECT_FALSE(sim::traceCategoryFromName("", &parsed));
+    EXPECT_FALSE(sim::traceCategoryFromName("TX", &parsed));
+    // A failed parse must leave the output untouched.
+    parsed = sim::TraceCategory::Mem;
+    EXPECT_FALSE(sim::traceCategoryFromName("nope", &parsed));
+    EXPECT_EQ(parsed, sim::TraceCategory::Mem);
+}
+
+TEST(Trace, EmptyMaskDropsEverything)
+{
+    std::ostringstream os;
+    sim::TextTraceSink sink(os);
+    sink.enableOnly({});
+    for (unsigned i = 0; i < sim::kNumTraceCategories; ++i)
+        EXPECT_FALSE(
+            sink.wants(static_cast<sim::TraceCategory>(i)));
+    runner::Simulation simulation(tracedConfig(&sink));
+    simulation.run();
+    EXPECT_TRUE(os.str().empty());
+}
+
+TEST(Trace, FanoutFeedsEveryChildAndUnionsWants)
+{
+    std::ostringstream text_os, jsonl_os;
+    sim::TextTraceSink text(text_os);
+    text.enableOnly({sim::TraceCategory::Tx});
+    sim::JsonlTraceSink jsonl(jsonl_os);
+    jsonl.enableOnly({sim::TraceCategory::Predictor});
+    sim::FanoutTraceSink fanout;
+    fanout.addSink(&text);
+    fanout.addSink(&jsonl);
+    // wants() is the union of the children's masks.
+    EXPECT_TRUE(fanout.wants(sim::TraceCategory::Tx));
+    EXPECT_TRUE(fanout.wants(sim::TraceCategory::Predictor));
+    EXPECT_FALSE(fanout.wants(sim::TraceCategory::Mem));
+
+    runner::Simulation simulation(tracedConfig(&fanout));
+    simulation.run();
+    // Each child applied its own filter to the shared stream.
+    EXPECT_NE(text_os.str().find("cat=tx"), std::string::npos);
+    EXPECT_EQ(text_os.str().find("cat=predictor"),
+              std::string::npos);
+    EXPECT_NE(jsonl_os.str().find("\"cat\":\"predictor\""),
+              std::string::npos);
+    EXPECT_EQ(jsonl_os.str().find("\"cat\":\"tx\""),
+              std::string::npos);
+}
+
+TEST(Trace, ChromeSinkEmitsBalancedTimeline)
+{
+    std::ostringstream os;
+    {
+        sim::ChromeTraceSink sink(os);
+        runner::Simulation simulation(tracedConfig(&sink));
+        simulation.run();
+        sink.close();
+    }
+    const std::string out = os.str();
+    // Envelope and track metadata.
+    EXPECT_EQ(out.rfind("{\"traceEvents\":[", 0), 0u);
+    EXPECT_NE(out.find("\"ph\":\"M\""), std::string::npos);
+    EXPECT_NE(out.find("bfgts-sim"), std::string::npos);
+    EXPECT_NE(out.find("CPU 0"), std::string::npos);
+    // Slices come in matched begin/end pairs.
+    std::size_t begins = 0, ends = 0, pos = 0;
+    while ((pos = out.find("\"ph\":\"B\"", pos)) !=
+           std::string::npos) {
+        ++begins;
+        ++pos;
+    }
+    pos = 0;
+    while ((pos = out.find("\"ph\":\"E\"", pos)) !=
+           std::string::npos) {
+        ++ends;
+        ++pos;
+    }
+    EXPECT_GT(begins, 0u);
+    EXPECT_EQ(begins, ends);
+    // Run slices carry the site name; the file closes cleanly.
+    EXPECT_NE(out.find("\"run s0\""), std::string::npos);
+    EXPECT_EQ(out.substr(out.size() - 4), "\n]}\n");
 }
 
 TEST(Trace, DisabledByDefaultAndCostFree)

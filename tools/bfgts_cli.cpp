@@ -26,21 +26,33 @@
  *   --trace-jsonl     render the trace as JSON Lines instead of text
  *   --trace-cats LIST comma-separated trace categories
  *                     (tx,sched,cm,predictor,mem; default all)
+ *   --trace-chrome F  write a Chrome trace_event timeline (open in
+ *                     Perfetto / chrome://tracing); composes with
+ *                     --trace via a fanout sink
+ *   --ts FILE         write the bfgts-ts-v1 interval time-series
+ *                     (JSON Lines; docs/observability.md)
+ *   --ts-interval N   sampling window in ticks (default 10000)
+ *   --conflict-dot F  write the conflict graph as Graphviz DOT
+ *                     (abort edges solid, serializations dashed)
  *   --list            list workloads and managers, then exit
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "runner/experiment.h"
 #include "runner/simulation.h"
+#include "sim/chrome_trace.h"
 #include "sim/json.h"
+#include "sim/sampler.h"
 #include "sim/trace.h"
 #include "workloads/splash2.h"
 #include "workloads/stamp.h"
@@ -83,6 +95,8 @@ usage(const char *argv0)
                  "          [--baseline] [--stats] [--json FILE]\n"
                  "          [--trace FILE] [--trace-jsonl] "
                  "[--trace-cats tx,sched,cm,predictor,mem]\n"
+                 "          [--trace-chrome FILE] [--ts FILE] "
+                 "[--ts-interval N] [--conflict-dot FILE]\n"
                  "          [--list]\n",
                  argv0);
     std::exit(1);
@@ -111,12 +125,124 @@ parseTraceCats(const std::string &list, const char *argv0)
     return cats;
 }
 
+/** "queue" for the ATS token pseudo-node, "s<N>" for real sites. */
+std::string
+siteLabel(int stx)
+{
+    return stx < 0 ? std::string("queue")
+                   : "s" + std::to_string(stx);
+}
+
+/**
+ * Conflict-edge attribution: every (winner, victim) abort edge in
+ * key order, the top-K by wasted victim cycles, and the begin-time
+ * serialization edges. Key order and a deterministic top-K sort keep
+ * the report byte-identical across runs of equal simulations.
+ */
+void
+writeEdgeReport(sim::JsonWriter &jw, const runner::SimResults &r)
+{
+    using Edge = std::pair<std::pair<int, int>,
+                           runner::ConflictEdgeStats>;
+    std::vector<Edge> top(r.abortEdges.begin(), r.abortEdges.end());
+    std::sort(top.begin(), top.end(),
+              [](const Edge &a, const Edge &b) {
+                  if (a.second.wastedCycles != b.second.wastedCycles)
+                      return a.second.wastedCycles
+                           > b.second.wastedCycles;
+                  if (a.second.aborts != b.second.aborts)
+                      return a.second.aborts > b.second.aborts;
+                  return a.first < b.first;
+              });
+    constexpr std::size_t kTopK = 10;
+    if (top.size() > kTopK)
+        top.resize(kTopK);
+
+    const auto edge_object = [&jw](const Edge &edge) {
+        jw.beginObject();
+        jw.kv("winner", edge.first.first);
+        jw.kv("victim", edge.first.second);
+        jw.kv("aborts", edge.second.aborts);
+        jw.kv("wastedCycles",
+              static_cast<std::uint64_t>(edge.second.wastedCycles));
+        jw.endObject();
+    };
+
+    jw.beginObject("conflict_edges");
+    jw.kv("totalEdges",
+          static_cast<std::uint64_t>(r.abortEdges.size()));
+    jw.beginArray("topByWastedCycles");
+    for (const Edge &edge : top)
+        edge_object(edge);
+    jw.endArray();
+    jw.beginArray("edges");
+    for (const auto &edge : r.abortEdges)
+        edge_object(edge);
+    jw.endArray();
+    jw.endObject();
+
+    jw.beginArray("serialization_edges");
+    for (const auto &[key, count] : r.serializationEdges) {
+        jw.beginObject();
+        jw.kv("winner", key.first);
+        jw.kv("victim", key.second);
+        jw.kv("count", count);
+        jw.endObject();
+    }
+    jw.endArray();
+}
+
+/**
+ * Graphviz DOT rendering of the attributed conflict graph: solid
+ * edges are aborts (winner -> victim, labeled with counts and wasted
+ * cycles), dashed gray edges are begin-time serializations. Node
+ * "queue" stands for token-based serialization with no named enemy.
+ */
+void
+writeConflictDot(std::ostream &os, const runner::SimResults &r)
+{
+    os << "// who-aborts-whom, " << r.workload << " under " << r.cm
+       << "\n";
+    os << "digraph conflicts {\n"
+       << "  rankdir=LR;\n"
+       << "  node [shape=circle];\n";
+    std::set<int> nodes;
+    for (const auto &[key, stats] : r.abortEdges) {
+        (void)stats;
+        nodes.insert(key.first);
+        nodes.insert(key.second);
+    }
+    for (const auto &[key, count] : r.serializationEdges) {
+        (void)count;
+        nodes.insert(key.first);
+        nodes.insert(key.second);
+    }
+    for (int node : nodes) {
+        if (node < 0)
+            os << "  queue [shape=box,label=\"token queue\"];\n";
+        else
+            os << "  " << siteLabel(node) << ";\n";
+    }
+    for (const auto &[key, stats] : r.abortEdges) {
+        os << "  " << siteLabel(key.first) << " -> "
+           << siteLabel(key.second) << " [label=\"" << stats.aborts
+           << " ab / " << stats.wastedCycles << " cyc\"];\n";
+    }
+    for (const auto &[key, count] : r.serializationEdges) {
+        os << "  " << siteLabel(key.first) << " -> "
+           << siteLabel(key.second) << " [style=dashed,color=gray,"
+           << "label=\"" << count << " ser\"];\n";
+    }
+    os << "}\n";
+}
+
 /** The bfgts-obs-v1 "run" report (docs/observability.md). */
 void
 writeJsonReport(std::ostream &os, const std::string &name,
                 const runner::SimConfig &config,
                 const runner::SimResults &r,
-                const runner::Simulation &simulation)
+                const runner::Simulation &simulation,
+                const sim::Sampler *sampler)
 {
     sim::JsonWriter jw(os);
     jw.beginObject();
@@ -164,6 +290,10 @@ writeJsonReport(std::ostream &os, const std::string &name,
     jw.endObject();
     jw.endObject();
 
+    if (sampler != nullptr)
+        sampler->summaryJson(jw);
+    writeEdgeReport(jw, r);
+
     simulation.dumpStatsJson(jw);
     jw.endObject();
 }
@@ -182,6 +312,10 @@ main(int argc, char **argv)
     std::string trace_path;
     bool trace_jsonl = false;
     std::string trace_cats;
+    std::string chrome_path;
+    std::string ts_path;
+    sim::Tick ts_interval = 10'000;
+    std::string dot_path;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -224,6 +358,16 @@ main(int argc, char **argv)
             trace_jsonl = true;
         } else if (arg == "--trace-cats") {
             trace_cats = next();
+        } else if (arg == "--trace-chrome") {
+            chrome_path = next();
+        } else if (arg == "--ts") {
+            ts_path = next();
+        } else if (arg == "--ts-interval") {
+            ts_interval = std::strtoull(next(), nullptr, 10);
+            if (ts_interval == 0)
+                usage(argv[0]);
+        } else if (arg == "--conflict-dot") {
+            dot_path = next();
         } else {
             usage(argv[0]);
         }
@@ -263,8 +407,53 @@ main(int argc, char **argv)
         config.traceSink = trace_sink.get();
     }
 
+    std::ofstream chrome_file;
+    std::unique_ptr<sim::ChromeTraceSink> chrome_sink;
+    sim::FanoutTraceSink fanout;
+    if (!chrome_path.empty()) {
+        chrome_file.open(chrome_path);
+        if (!chrome_file) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         chrome_path.c_str());
+            return 1;
+        }
+        chrome_sink =
+            std::make_unique<sim::ChromeTraceSink>(chrome_file);
+        if (trace_sink != nullptr) {
+            fanout.addSink(trace_sink.get());
+            fanout.addSink(chrome_sink.get());
+            config.traceSink = &fanout;
+        } else {
+            config.traceSink = chrome_sink.get();
+        }
+    }
+
+    std::ofstream ts_file;
+    std::unique_ptr<sim::Sampler> sampler;
+    if (!ts_path.empty() || chrome_sink != nullptr
+        || !json_path.empty()) {
+        sim::Sampler::Config sampler_config;
+        sampler_config.interval = ts_interval;
+        if (!ts_path.empty()) {
+            ts_file.open(ts_path);
+            if (!ts_file) {
+                std::fprintf(stderr, "cannot open %s\n",
+                             ts_path.c_str());
+                return 1;
+            }
+            sampler_config.jsonl = &ts_file;
+        }
+        sampler = std::make_unique<sim::Sampler>(sampler_config);
+        if (chrome_sink != nullptr)
+            sampler->setCounterSink(chrome_sink.get());
+        config.sampler = sampler.get();
+    }
+
     runner::Simulation simulation(config);
     const runner::SimResults r = simulation.run();
+
+    if (chrome_sink != nullptr)
+        chrome_sink->close();
 
     std::printf("workload          %s\n", r.workload.c_str());
     std::printf("manager           %s\n", r.cm.c_str());
@@ -307,7 +496,18 @@ main(int argc, char **argv)
             return 1;
         }
         const std::string name = r.workload + "-" + r.cm;
-        writeJsonReport(json_file, name, config, r, simulation);
+        writeJsonReport(json_file, name, config, r, simulation,
+                        sampler.get());
+    }
+
+    if (!dot_path.empty()) {
+        std::ofstream dot_file(dot_path);
+        if (!dot_file) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         dot_path.c_str());
+            return 1;
+        }
+        writeConflictDot(dot_file, r);
     }
 
     if (with_baseline) {

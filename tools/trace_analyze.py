@@ -1,0 +1,232 @@
+#!/usr/bin/env python3
+"""Offline trace analyzer / instrumentation-drift detector.
+
+Reads a bfgts-trace-v1 JSONL trace, reconstructs per-thread
+transaction lifecycles, and independently recomputes the headline
+counters and the conflict-edge attribution. It then compares those
+against the ``--json`` run report produced by the same simulation and
+exits nonzero on any divergence -- if a future change moves an
+emission site without moving the counter (or vice versa), this is the
+test that goes red.
+
+Checks
+------
+* record shape: every line has tick/cpu/thread/sTx/dTx/cat/event,
+  ticks are monotone non-decreasing, categories are known.
+* lifecycle: per thread, ``start`` opens an attempt, ``commit`` /
+  ``abort`` close it; closing without an open attempt or re-opening
+  an open one is a structural error.
+* counters: commits, aborts, stall timeouts (``results``), predicted
+  stalls (``predictor_quality``), and starts == commits + aborts.
+* conflict edges: (winner sTx from the abort record's ``enemySTx``
+  detail, victim sTx) abort counts and wasted cycles must equal the
+  report's ``conflict_edges.edges`` table.
+
+Usage
+-----
+  trace_analyze.py --trace trace.jsonl --json run.json
+  trace_analyze.py --cli path/to/bfgts_cli      # self-driving (ctest)
+
+The ``--cli`` mode runs a nontrivial workload into a temp directory
+first, then analyzes its artifacts; this is how the ``trace_crosscheck``
+ctest uses it.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+KNOWN_CATEGORIES = {"tx", "sched", "cm", "predictor", "mem"}
+
+RECORD_KEYS = {"tick", "cpu", "thread", "sTx", "dTx", "cat", "event"}
+
+# Workload used by --cli mode: enough contention for a few thousand
+# records and a nontrivial edge table, still sub-second to simulate.
+CLI_ARGS = ["--workload", "Intruder", "--cm", "BFGTS-HW", "--tx", "10"]
+
+
+class Analysis:
+    """Counters and edges recomputed from the raw trace stream."""
+
+    def __init__(self):
+        self.records = 0
+        self.starts = 0
+        self.commits = 0
+        self.aborts = 0
+        self.rollbacks = 0
+        self.predicted_stalls = 0
+        self.stall_timeouts = 0
+        self.edges = {}  # (winner sTx, victim sTx) -> [aborts, wasted]
+        self.errors = []
+
+    def error(self, message):
+        self.errors.append(message)
+
+
+def analyze_trace(path):
+    """Replay the JSONL trace and rebuild lifecycles and counters."""
+    out = Analysis()
+    open_attempt = {}  # thread -> dTx of the in-flight attempt
+    last_tick = -1
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                out.error("line %d: invalid JSON (%s)" % (lineno, exc))
+                continue
+            missing = RECORD_KEYS - rec.keys()
+            if missing:
+                out.error("line %d: missing keys %s"
+                          % (lineno, sorted(missing)))
+                continue
+            out.records += 1
+            if rec["cat"] not in KNOWN_CATEGORIES:
+                out.error("line %d: unknown category %r"
+                          % (lineno, rec["cat"]))
+            if rec["tick"] < last_tick:
+                out.error("line %d: tick %d < previous %d "
+                          "(trace not time-ordered)"
+                          % (lineno, rec["tick"], last_tick))
+            last_tick = rec["tick"]
+
+            thread = rec["thread"]
+            event = rec["event"]
+            detail = rec.get("detail", {})
+            if event == "start":
+                if thread in open_attempt:
+                    out.error("line %d: thread %d starts dTx %d with "
+                              "attempt dTx %d still open"
+                              % (lineno, thread, rec["dTx"],
+                                 open_attempt[thread]))
+                open_attempt[thread] = rec["dTx"]
+                out.starts += 1
+            elif event == "commit":
+                if thread not in open_attempt:
+                    out.error("line %d: thread %d commits without an "
+                              "open attempt" % (lineno, thread))
+                open_attempt.pop(thread, None)
+                out.commits += 1
+            elif event == "abort":
+                if thread not in open_attempt:
+                    out.error("line %d: thread %d aborts without an "
+                              "open attempt" % (lineno, thread))
+                open_attempt.pop(thread, None)
+                out.aborts += 1
+                try:
+                    winner = int(detail["enemySTx"])
+                    wasted = int(detail["wasted"])
+                except (KeyError, ValueError):
+                    out.error("line %d: abort record lacks integer "
+                              "enemySTx/wasted details" % lineno)
+                    continue
+                edge = out.edges.setdefault((winner, rec["sTx"]),
+                                            [0, 0])
+                edge[0] += 1
+                edge[1] += wasted
+            elif event == "rollback":
+                out.rollbacks += 1
+            elif event == "predict":
+                out.predicted_stalls += 1
+            elif event == "stall-timeout":
+                out.stall_timeouts += 1
+    if open_attempt:
+        out.error("attempts still open at end of trace: %s"
+                  % sorted(open_attempt.items()))
+    return out
+
+
+def compare(analysis, report):
+    """Diff the recomputed values against the run report."""
+    failures = list(analysis.errors)
+
+    def check(label, got, want):
+        if got != want:
+            failures.append("%s: trace says %s, report says %s"
+                            % (label, got, want))
+
+    results = report["results"]
+    check("commits", analysis.commits, results["commits"])
+    check("aborts", analysis.aborts, results["aborts"])
+    check("stallTimeouts", analysis.stall_timeouts,
+          results["stallTimeouts"])
+    check("predictedStalls", analysis.predicted_stalls,
+          report["predictor_quality"]["predictedStalls"])
+    # Lifecycle balance: every attempt that started ended exactly once.
+    check("starts == commits + aborts", analysis.starts,
+          analysis.commits + analysis.aborts)
+    check("rollbacks == aborts", analysis.rollbacks, analysis.aborts)
+
+    reported = {
+        (edge["winner"], edge["victim"]):
+            [edge["aborts"], edge["wastedCycles"]]
+        for edge in report["conflict_edges"]["edges"]
+    }
+    for key in sorted(set(analysis.edges) | set(reported)):
+        got = analysis.edges.get(key)
+        want = reported.get(key)
+        if got != want:
+            failures.append(
+                "edge winner=s%d victim=s%d: trace %s, report %s"
+                % (key[0], key[1],
+                   got and "aborts=%d wasted=%d" % tuple(got),
+                   want and "aborts=%d wasted=%d" % tuple(want)))
+    return failures
+
+
+def run_pair(trace_path, json_path):
+    analysis = analyze_trace(trace_path)
+    with open(json_path, "r", encoding="utf-8") as fh:
+        report = json.load(fh)
+    failures = compare(analysis, report)
+    if failures:
+        print("trace_analyze: %d divergence(s) between %s and %s"
+              % (len(failures), trace_path, json_path))
+        for failure in failures:
+            print("  FAIL " + failure)
+        return 1
+    print("trace_analyze: OK (%d records; %d commits, %d aborts, "
+          "%d predicted stalls, %d edges match the report)"
+          % (analysis.records, analysis.commits, analysis.aborts,
+             analysis.predicted_stalls, len(analysis.edges)))
+    return 0
+
+
+def run_cli_mode(cli):
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = os.path.join(tmp, "trace.jsonl")
+        json_path = os.path.join(tmp, "run.json")
+        cmd = ([cli] + CLI_ARGS
+               + ["--json", json_path, "--trace-jsonl",
+                  "--trace", trace_path])
+        print("trace_analyze: running " + " ".join(cmd))
+        subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+        return run_pair(trace_path, json_path)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Cross-check a JSONL trace against the --json "
+                    "run report")
+    parser.add_argument("--trace", help="bfgts-trace-v1 JSONL file")
+    parser.add_argument("--json", dest="json_path",
+                        help="bfgts-obs-v1 run report")
+    parser.add_argument("--cli",
+                        help="run this bfgts_cli first, then analyze "
+                             "its artifacts")
+    args = parser.parse_args()
+    if args.cli:
+        return run_cli_mode(args.cli)
+    if not args.trace or not args.json_path:
+        parser.error("need --trace and --json (or --cli)")
+    return run_pair(args.trace, args.json_path)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

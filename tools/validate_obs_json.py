@@ -8,9 +8,11 @@ Three modes:
 
   validate_obs_json.py --cli PATH_TO_BFGTS_CLI
       Run the CLI twice under different BFGTS_HASH_SEED values,
-      require byte-identical JSON reports and JSONL traces, and
-      schema-check the report (including predictor precision/recall,
-      histograms, and the Fig. 5 breakdown).
+      require byte-identical JSON reports, JSONL traces, time-series
+      streams, Chrome timelines, and conflict DOT files, and
+      schema-check everything (report members incl. timeseries and
+      conflict edges, bfgts-ts-v1 stream shape, Chrome trace_event
+      shape with balanced begin/end slices per track).
 
   validate_obs_json.py --bench PATH_TO_BENCH_BINARY
       Run the bench with BFGTS_QUICK=1 and --json and schema-check
@@ -33,6 +35,20 @@ CLI_ARGS = ["--workload", "Intruder", "--cm", "BFGTS-HW", "--tx", "10"]
 TRACE_KEYS = {"tick", "cpu", "thread", "sTx", "dTx", "cat", "event"}
 TRACE_CATS = {"tx", "sched", "cm", "predictor", "mem"}
 BREAKDOWN_KEYS = {"nonTx", "kernel", "tx", "aborted", "sched", "idle"}
+
+TS_SCHEMA = "bfgts-ts-v1"
+TS_WINDOW_KEYS = {
+    "window", "start", "end", "commits", "aborts", "conflicts",
+    "predictedStalls", "stallTimeouts", "abortRate", "cpusRunning",
+    "cpusStalled", "readyQueueDepth", "meanConfidence",
+    "bloomOccupancy", "conflictPressure",
+}
+TIMESERIES_KEYS = {
+    "interval", "windows", "peakAbortRate", "meanAbortRate",
+    "peakReadyQueueDepth", "peakConflictPressure",
+    "peakCommitsPerWindow", "peakAbortsPerWindow",
+}
+EDGE_KEYS = {"winner", "victim", "aborts", "wastedCycles"}
 
 
 def fail(msg):
@@ -96,6 +112,41 @@ def check_run(doc, where):
     check(abs(frac_sum - 1.0) < 1e-9,
           f"{where}: breakdown fractions sum to {frac_sum}")
 
+    timeseries = doc.get("timeseries")
+    if timeseries is not None:
+        missing = TIMESERIES_KEYS - timeseries.keys()
+        check(not missing, f"{where}: timeseries lacks {sorted(missing)}")
+        check(timeseries["interval"] > 0, f"{where}: bad ts interval")
+        check(0.0 <= timeseries["peakAbortRate"] <= 1.0,
+              f"{where}: peakAbortRate out of [0,1]")
+        check(timeseries["meanAbortRate"]
+              <= timeseries["peakAbortRate"] + 1e-12,
+              f"{where}: mean abort rate exceeds peak")
+
+    edges = doc.get("conflict_edges")
+    if edges is not None:
+        for key in ("totalEdges", "topByWastedCycles", "edges"):
+            check(key in edges, f"{where}: conflict_edges lacks '{key}'")
+        check(edges["totalEdges"] == len(edges["edges"]),
+              f"{where}: totalEdges != len(edges)")
+        check(len(edges["topByWastedCycles"]) <= 10,
+              f"{where}: topByWastedCycles longer than 10")
+        for i, edge in enumerate(edges["edges"]
+                                 + edges["topByWastedCycles"]):
+            missing = EDGE_KEYS - edge.keys()
+            check(not missing,
+                  f"{where}: conflict edge {i} lacks {sorted(missing)}")
+        top = edges["topByWastedCycles"]
+        for a, b in zip(top, top[1:]):
+            check(a["wastedCycles"] >= b["wastedCycles"],
+                  f"{where}: topByWastedCycles not sorted")
+    if "serialization_edges" in doc:
+        for i, edge in enumerate(doc["serialization_edges"]):
+            missing = {"winner", "victim", "count"} - edge.keys()
+            check(not missing,
+                  f"{where}: serialization edge {i} lacks "
+                  f"{sorted(missing)}")
+
     quality = doc["predictor_quality"]
     for key in ("predictedStalls", "truePositives", "falsePositives",
                 "falseNegatives", "predictedAborts", "precision",
@@ -154,6 +205,74 @@ def check_trace_jsonl(path):
               f"{path}:{i + 1}: bad tick")
 
 
+def check_ts_jsonl(path):
+    """Shape-check a bfgts-ts-v1 time-series stream."""
+    with open(path, "rb") as fh:
+        lines = fh.read().splitlines()
+    check(lines, f"{path}: empty time series")
+    header = json.loads(lines[0])
+    check(header.get("schema") == TS_SCHEMA,
+          f"{path}: header schema is {header.get('schema')!r}")
+    check(header.get("kind") == "header", f"{path}: bad header kind")
+    check(header.get("interval", 0) > 0, f"{path}: bad interval")
+    prev_end = 0
+    for i, line in enumerate(lines[1:], start=2):
+        try:
+            window = json.loads(line)
+        except json.JSONDecodeError as exc:
+            fail(f"{path}:{i}: invalid JSON ({exc})")
+        missing = TS_WINDOW_KEYS - window.keys()
+        check(not missing, f"{path}:{i}: lacks {sorted(missing)}")
+        check(window["window"] == i - 2,
+              f"{path}:{i}: window index not consecutive")
+        check(window["start"] == prev_end,
+              f"{path}:{i}: window start {window['start']} != "
+              f"previous end {prev_end}")
+        check(window["start"] < window["end"],
+              f"{path}:{i}: empty window span")
+        check(0.0 <= window["abortRate"] <= 1.0,
+              f"{path}:{i}: abortRate out of [0,1]")
+        prev_end = window["end"]
+
+
+def check_chrome_trace(path):
+    """Shape-check a Chrome trace_event file: valid JSON, the
+    traceEvents array, and balanced B/E slices on every track."""
+    doc = load(path)
+    check(isinstance(doc, dict) and "traceEvents" in doc,
+          f"{path}: no traceEvents member")
+    events = doc["traceEvents"]
+    check(isinstance(events, list) and events,
+          f"{path}: traceEvents missing or empty")
+    depth = {}
+    phases = set()
+    for i, event in enumerate(events):
+        for key in ("name", "ph", "pid"):
+            check(key in event, f"{path}: event {i} lacks '{key}'")
+        phases.add(event["ph"])
+        if event["ph"] == "B":
+            depth[event["tid"]] = depth.get(event["tid"], 0) + 1
+        elif event["ph"] == "E":
+            depth[event["tid"]] = depth.get(event["tid"], 0) - 1
+            check(depth[event["tid"]] >= 0,
+                  f"{path}: event {i}: E without B on tid "
+                  f"{event['tid']}")
+    open_tracks = {tid: d for tid, d in depth.items() if d != 0}
+    check(not open_tracks,
+          f"{path}: unbalanced slices on tids {sorted(open_tracks)}")
+    check("M" in phases, f"{path}: no metadata events")
+
+
+def check_conflict_dot(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    body = "\n".join(line for line in text.splitlines()
+                     if not line.startswith("//"))
+    check(body.lstrip().startswith("digraph"),
+          f"{path}: not a digraph")
+    check(text.rstrip().endswith("}"), f"{path}: unterminated graph")
+
+
 def load(path):
     try:
         with open(path, "r", encoding="utf-8") as fh:
@@ -175,25 +294,38 @@ def run(cmd, env_extra=None, cwd=None):
 
 
 def mode_cli(cli, workdir):
+    artifacts = {
+        "json": ("run-{}.json", check_run),
+        "trace": ("run-{}.jsonl", check_trace_jsonl),
+        "ts": ("ts-{}.jsonl", check_ts_jsonl),
+        "chrome": ("chrome-{}.json", check_chrome_trace),
+        "dot": ("conf-{}.dot", check_conflict_dot),
+    }
     outputs = []
     for seed in ("0x0123456789abcdef", "0xfedcba9876543210"):
-        json_path = os.path.join(workdir, f"run-{seed}.json")
-        trace_path = os.path.join(workdir, f"run-{seed}.jsonl")
-        run([cli, *CLI_ARGS, "--json", json_path, "--trace",
-             trace_path, "--trace-jsonl"],
+        paths = {kind: os.path.join(workdir, pattern.format(seed))
+                 for kind, (pattern, _) in artifacts.items()}
+        run([cli, *CLI_ARGS,
+             "--json", paths["json"],
+             "--trace", paths["trace"], "--trace-jsonl",
+             "--ts", paths["ts"],
+             "--trace-chrome", paths["chrome"],
+             "--conflict-dot", paths["dot"]],
             env_extra={"BFGTS_HASH_SEED": seed})
-        with open(json_path, "rb") as fh:
-            report = fh.read()
-        with open(trace_path, "rb") as fh:
-            trace = fh.read()
-        outputs.append((report, trace))
-        check_run(load(json_path), json_path)
-        check_trace_jsonl(trace_path)
-    check(outputs[0][0] == outputs[1][0],
-          "JSON report differs across BFGTS_HASH_SEED values")
-    check(outputs[0][1] == outputs[1][1],
-          "JSONL trace differs across BFGTS_HASH_SEED values")
-    print("validate_obs_json: cli OK (report + trace byte-identical "
+        blobs = {}
+        for kind, (_, checker) in artifacts.items():
+            if checker is check_run:
+                checker(load(paths[kind]), paths[kind])
+            else:
+                checker(paths[kind])
+            with open(paths[kind], "rb") as fh:
+                blobs[kind] = fh.read()
+        outputs.append(blobs)
+    for kind in artifacts:
+        check(outputs[0][kind] == outputs[1][kind],
+              f"{kind} output differs across BFGTS_HASH_SEED values")
+    print("validate_obs_json: cli OK (report, trace, time series, "
+          "chrome timeline, and conflict DOT all byte-identical "
           "across hash seeds)")
 
 
