@@ -11,6 +11,7 @@
 #ifndef BFGTS_BENCH_BENCH_UTIL_H
 #define BFGTS_BENCH_BENCH_UTIL_H
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -19,6 +20,7 @@
 #include <vector>
 
 #include "runner/experiment.h"
+#include "runner/sweep.h"
 #include "sim/json.h"
 #include "sim/stats.h"
 #include "workloads/stamp.h"
@@ -43,20 +45,25 @@ defaultOptions()
     return options;
 }
 
-/** Geometric mean of a non-empty vector of positive values. */
+/** Geometric mean of positive values; 0.0 on empty input (a bare
+ *  division would put a silent NaN into reports). */
 inline double
 geomean(const std::vector<double> &values)
 {
+    if (values.empty())
+        return 0.0;
     double log_sum = 0.0;
     for (double v : values)
         log_sum += std::log(v);
     return std::exp(log_sum / static_cast<double>(values.size()));
 }
 
-/** Arithmetic mean. */
+/** Arithmetic mean; 0.0 on empty input. */
 inline double
 mean(const std::vector<double> &values)
 {
+    if (values.empty())
+        return 0.0;
     double sum = 0.0;
     for (double v : values)
         sum += v;
@@ -68,6 +75,50 @@ inline void
 banner(const std::string &title)
 {
     std::cout << "\n==== " << title << " ====\n\n";
+}
+
+/**
+ * Sweep-engine options from argv and the environment:
+ *   --jobs N              worker threads (default 1)
+ *   --progress            per-cell progress lines on stderr
+ *   BFGTS_SWEEP_CACHE=DIR on-disk result cache (default off)
+ * Unknown arguments are ignored, so these compose with --json.
+ */
+inline runner::SweepOptions
+sweepOptionsFromArgs(int argc, char **argv)
+{
+    runner::SweepOptions options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--jobs" && i + 1 < argc)
+            options.jobs = std::atoi(argv[++i]);
+        else if (arg == "--progress")
+            options.progress = &std::cerr;
+    }
+    if (options.jobs < 1)
+        options.jobs = 1;
+    const char *cache = std::getenv("BFGTS_SWEEP_CACHE");
+    if (cache != nullptr && cache[0] != '\0')
+        options.cacheDir = cache;
+    return options;
+}
+
+/**
+ * Unwrap one sweep result: return the SimResults of cell @p index,
+ * aborting the bench with the cell's error when it failed (benches
+ * have no sensible partial output).
+ */
+inline const runner::SimResults &
+sweepCellOrDie(const std::vector<runner::SweepCellResult> &results,
+               std::size_t index)
+{
+    const runner::SweepCellResult &result = results.at(index);
+    if (!result.ok) {
+        std::cerr << "sweep cell " << index
+                  << " failed: " << result.error << "\n";
+        std::exit(1);
+    }
+    return result.results;
 }
 
 /**

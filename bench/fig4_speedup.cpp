@@ -3,16 +3,51 @@
  * Regenerates Figure 4: (a) speedup over one core for each contention
  * manager on each STAMP benchmark (16 CPUs, 64 threads), and
  * (b) percent improvement over PTS.
+ *
+ * Runs the whole (benchmark x manager) matrix plus the single-core
+ * baselines through runner::SweepRunner: `--jobs N` parallelizes the
+ * cells, `--progress` streams per-cell lines, BFGTS_SWEEP_CACHE
+ * reuses cells across runs, and `--json` emits the usual bench rows.
  */
 
 #include "bench_util.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     const auto options = bench::defaultOptions();
     const auto benchmarks = workloads::stampBenchmarkNames();
     const auto managers = cm::allCmKinds();
+    bench::JsonReporter reporter("fig4_speedup", argc, argv);
+
+    // Job matrix: one baseline cell per benchmark, then the full
+    // (benchmark, manager) grid. Aggregation below is by job index,
+    // so results are identical for any worker count.
+    std::vector<runner::SweepCell> cells;
+    for (const std::string &name : benchmarks) {
+        runner::SweepCell cell;
+        cell.workload = name;
+        cell.options = options;
+        cell.baseline = true;
+        cells.push_back(cell);
+    }
+    for (const std::string &name : benchmarks) {
+        for (cm::CmKind kind : managers) {
+            runner::SweepCell cell;
+            cell.workload = name;
+            cell.cm = kind;
+            cell.options = options;
+            cells.push_back(cell);
+        }
+    }
+
+    runner::SweepRunner sweep(bench::sweepOptionsFromArgs(argc, argv));
+    const auto results = sweep.run(cells);
+    const auto cellAt = [&](std::size_t b, std::size_t m) -> const
+        runner::SimResults & {
+            return bench::sweepCellOrDie(
+                results, benchmarks.size() + b * managers.size() + m);
+        };
 
     // Column headers: benchmark + one column per manager.
     std::vector<std::string> headers{"Benchmark"};
@@ -21,22 +56,21 @@ main()
     sim::TextTable speedup_table(headers);
     sim::TextTable improvement_table(headers);
 
-    runner::BaselineCache baselines;
     // speedups[manager][benchmark]
     std::vector<std::vector<double>> speedups(
         managers.size(), std::vector<double>(benchmarks.size(), 0.0));
 
     for (std::size_t b = 0; b < benchmarks.size(); ++b) {
-        const std::string &name = benchmarks[b];
         const double base = static_cast<double>(
-            baselines.runtime(name, options));
-        std::vector<std::string> row{name};
+            bench::sweepCellOrDie(results, b).runtime);
+        std::vector<std::string> row{benchmarks[b]};
+        auto &json_row =
+            reporter.addRow().set("benchmark", benchmarks[b]);
         for (std::size_t m = 0; m < managers.size(); ++m) {
-            const runner::SimResults results =
-                runner::runStamp(name, managers[m], options);
             speedups[m][b] =
-                base / static_cast<double>(results.runtime);
+                base / static_cast<double>(cellAt(b, m).runtime);
             row.push_back(sim::fmtDouble(speedups[m][b], 2));
+            json_row.set(cm::cmKindName(managers[m]), speedups[m][b]);
         }
         speedup_table.addRow(row);
     }
@@ -44,8 +78,12 @@ main()
     // Average row.
     {
         std::vector<std::string> row{"AVG"};
-        for (std::size_t m = 0; m < managers.size(); ++m)
-            row.push_back(sim::fmtDouble(bench::mean(speedups[m]), 2));
+        auto &json_row = reporter.addRow().set("benchmark", "AVG");
+        for (std::size_t m = 0; m < managers.size(); ++m) {
+            const double avg = bench::mean(speedups[m]);
+            row.push_back(sim::fmtDouble(avg, 2));
+            json_row.set(cm::cmKindName(managers[m]), avg);
+        }
         speedup_table.addRow(row);
     }
 
@@ -82,5 +120,5 @@ main()
 
     bench::banner("Figure 4(b): percent improvement over PTS");
     improvement_table.print(std::cout);
-    return 0;
+    return reporter.write() ? 0 : 1;
 }

@@ -13,7 +13,9 @@
 #ifndef BFGTS_RUNNER_EXPERIMENT_H
 #define BFGTS_RUNNER_EXPERIMENT_H
 
+#include <future>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "runner/config.h"
@@ -57,7 +59,14 @@ SimResults runSingleCoreBaseline(const std::string &workload,
 double speedupOverOneCore(const SimResults &parallel,
                           const SimResults &baseline);
 
-/** Memoizes single-core baselines keyed by workload name. */
+/**
+ * Memoizes single-core baselines keyed by workload name.
+ *
+ * Safe for concurrent use (e.g. shared across SweepRunner workers):
+ * each workload's baseline is computed exactly once -- the first
+ * caller runs it while later callers for the same workload block on
+ * the shared future instead of duplicating the simulation.
+ */
 class BaselineCache
 {
   public:
@@ -66,7 +75,8 @@ class BaselineCache
                       const RunOptions &options = {});
 
   private:
-    std::map<std::string, sim::Tick> cache_;
+    std::mutex mutex_;
+    std::map<std::string, std::shared_future<sim::Tick>> cache_;
 };
 
 } // namespace runner

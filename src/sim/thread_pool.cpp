@@ -1,0 +1,68 @@
+#include "thread_pool.h"
+
+namespace sim {
+
+ThreadPool::ThreadPool(int num_workers)
+{
+    if (num_workers < 1)
+        num_workers = 1;
+    threads_.reserve(static_cast<std::size_t>(num_workers));
+    for (int i = 0; i < num_workers; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    workAvailable_.notify_all();
+    for (std::thread &thread : threads_)
+        thread.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(job));
+        ++pending_;
+    }
+    workAvailable_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allDone_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workAvailable_.wait(lock, [this] {
+                return shutdown_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // shutdown, queue drained
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        job();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --pending_;
+            if (pending_ == 0)
+                allDone_.notify_all();
+        }
+    }
+}
+
+} // namespace sim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fixed-size host thread pool for embarrassingly parallel work.
+ *
+ * This is *host* parallelism, not simulated parallelism: each job is
+ * an independent deterministic computation (one sweep cell), so
+ * running jobs on N OS threads can change wall-clock only, never any
+ * simulated result. The pool makes no ordering promises between
+ * jobs; callers that need deterministic aggregation must collect
+ * results by job index (runner::SweepRunner does exactly that).
+ *
+ * Jobs must not throw: an exception escaping a job would terminate
+ * the process. Callers wrap their own failure handling inside the
+ * job (SweepRunner records a cell's error instead of letting it
+ * escape).
+ */
+
+#ifndef BFGTS_SIM_THREAD_POOL_H
+#define BFGTS_SIM_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sim {
+
+/** Fixed worker count, FIFO job queue, blocking wait(). */
+class ThreadPool
+{
+  public:
+    /** Spawn @p num_workers OS threads (clamped to at least 1). */
+    explicit ThreadPool(int num_workers);
+
+    /** Finishes every submitted job, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one job. Safe from any thread. */
+    void submit(std::function<void()> job);
+
+    /** Block until every job submitted so far has finished. */
+    void wait();
+
+    /** Number of worker threads. */
+    int workerCount() const { return static_cast<int>(threads_.size()); }
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable workAvailable_;
+    std::condition_variable allDone_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> threads_;
+    /** Jobs submitted but not yet finished (queued + running). */
+    std::size_t pending_ = 0;
+    bool shutdown_ = false;
+};
+
+} // namespace sim
+
+#endif // BFGTS_SIM_THREAD_POOL_H

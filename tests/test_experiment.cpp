@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the experiment drivers (src/runner/experiment.h):
+ * RunOptions -> SimConfig mapping, the single-core baseline's
+ * equal-total-work invariant, and the BaselineCache, which must be
+ * safe under concurrent SweepRunner workers and still compute each
+ * baseline exactly once.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "runner/experiment.h"
+#include "workloads/stamp.h"
+
+namespace {
+
+runner::RunOptions
+smallOptions()
+{
+    runner::RunOptions options;
+    options.numCpus = 4;
+    options.threadsPerCpu = 2;
+    options.txPerThread = 5;
+    return options;
+}
+
+TEST(ExperimentTest, MakeConfigMapsEveryKnob)
+{
+    runner::RunOptions options = smallOptions();
+    options.seed = 42;
+    options.bloomBits = 512;
+    options.smallTxInterval = 10;
+    options.tuning.bfgts.confTableSlots = 3;
+
+    const runner::SimConfig config =
+        runner::makeConfig("Intruder", cm::CmKind::Pts, options);
+    EXPECT_EQ(config.workload, "Intruder");
+    EXPECT_EQ(config.cm, cm::CmKind::Pts);
+    EXPECT_EQ(config.numCpus, 4);
+    EXPECT_EQ(config.threadsPerCpu, 2);
+    EXPECT_EQ(config.seed, 42u);
+    EXPECT_EQ(config.txPerThreadOverride, 5);
+    EXPECT_EQ(config.tuning.bfgts.bloom.numBits, 512u);
+    EXPECT_EQ(config.tuning.bfgts.smallTxInterval, 10);
+    EXPECT_EQ(config.tuning.bfgts.confTableSlots, 3);
+
+    // 0 means "keep the tuning default", not "set to zero".
+    runner::RunOptions defaults = smallOptions();
+    const runner::SimConfig def_config =
+        runner::makeConfig("Intruder", cm::CmKind::BfgtsHw, defaults);
+    EXPECT_EQ(def_config.tuning.bfgts.bloom.numBits,
+              cm::CmTuning{}.bfgts.bloom.numBits);
+    EXPECT_EQ(def_config.tuning.bfgts.smallTxInterval,
+              cm::CmTuning{}.bfgts.smallTxInterval);
+}
+
+TEST(ExperimentTest, BaselineRunsSameTotalWorkOnOneCore)
+{
+    const auto options = smallOptions();
+    const runner::SimResults base =
+        runner::runSingleCoreBaseline("Intruder", options);
+    // One thread, all the work: 4 CPUs x 2 threads x 5 tx.
+    EXPECT_EQ(base.commits, 4u * 2u * 5u);
+    // A single thread can't conflict with anyone.
+    EXPECT_EQ(base.aborts, 0u);
+
+    const runner::SimResults parallel =
+        runner::runStamp("Intruder", cm::CmKind::Backoff, options);
+    EXPECT_EQ(parallel.commits, base.commits);
+    EXPECT_GT(runner::speedupOverOneCore(parallel, base), 0.0);
+}
+
+TEST(ExperimentTest, BaselineCacheMemoizes)
+{
+    runner::BaselineCache cache;
+    const auto options = smallOptions();
+    const sim::Tick first = cache.runtime("Genome", options);
+    EXPECT_GT(first, 0u);
+    EXPECT_EQ(cache.runtime("Genome", options), first);
+    EXPECT_EQ(first,
+              runner::runSingleCoreBaseline("Genome", options)
+                  .runtime);
+}
+
+TEST(ExperimentTest, BaselineCacheIsSafeUnderConcurrency)
+{
+    // Regression for the pre-sweep BaselineCache: an unsynchronized
+    // std::map raced when SweepRunner workers shared one cache. Hammer
+    // one instance from 8 threads over a few workloads; every thread
+    // must observe the exact single-thread value. (The tsan preset
+    // turns this into a hard data-race check.)
+    runner::BaselineCache cache;
+    const auto options = smallOptions();
+    const std::vector<std::string> names{"Intruder", "Genome",
+                                         "Kmeans", "Vacation"};
+    std::vector<sim::Tick> expected;
+    for (const std::string &name : names)
+        expected.push_back(
+            runner::runSingleCoreBaseline(name, options).runtime);
+
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&cache, &names, &expected, &options,
+                              &mismatches, t] {
+            for (std::size_t i = 0; i < names.size(); ++i) {
+                // Stagger the first workload each thread asks for.
+                const std::size_t at = (i + t) % names.size();
+                if (cache.runtime(names[at], options) != expected[at])
+                    ++mismatches;
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    EXPECT_EQ(mismatches.load(), 0);
+}
+
+} // namespace

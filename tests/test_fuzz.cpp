@@ -8,11 +8,14 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <map>
 #include <set>
+#include <sstream>
 
 #include "htm/conflict_detector.h"
 #include "runner/simulation.h"
+#include "runner/sweep.h"
 #include "sim/random.h"
 #include "workloads/generator.h"
 #include "workloads/splash2.h"
@@ -203,6 +206,67 @@ TEST(SimulationFuzz, RandomSmallConfigsComplete)
                   static_cast<sim::Cycles>(config.numCpus)
                       * r.runtime);
     }
+}
+
+TEST(SweepFuzz, RandomMatrixMatchesDirectRunsAndWarmCache)
+{
+    // A random small evaluation matrix must come back from the sweep
+    // engine bit-equal to direct runStamp() calls, independent of
+    // worker count and completion order -- and a warm second sweep
+    // must reproduce it from the cache without executing anything.
+    sim::Rng meta_rng(0xBF675);
+    const auto stamp = workloads::stampBenchmarkNames();
+    const auto managers = cm::allCmKinds();
+
+    std::vector<runner::SweepCell> cells;
+    for (int i = 0; i < 10; ++i) {
+        runner::SweepCell cell;
+        cell.workload = stamp[meta_rng.below(stamp.size())];
+        cell.cm = managers[meta_rng.below(managers.size())];
+        cell.options.numCpus =
+            1 + static_cast<int>(meta_rng.below(8));
+        cell.options.threadsPerCpu =
+            1 + static_cast<int>(meta_rng.below(3));
+        cell.options.seed = meta_rng.next();
+        cell.options.txPerThread = 4;
+        cells.push_back(cell);
+    }
+
+    const auto digest = [](const runner::SimResults &r) {
+        std::ostringstream os;
+        runner::writeSweepResults(os, r);
+        return os.str();
+    };
+    std::vector<std::string> expected;
+    for (const runner::SweepCell &cell : cells)
+        expected.push_back(digest(
+            runner::runStamp(cell.workload, cell.cm, cell.options)));
+
+    const std::string cache_dir =
+        ::testing::TempDir() + "/sweep_fuzz_cache";
+    std::filesystem::remove_all(cache_dir);
+    runner::SweepOptions options;
+    options.jobs = 4;
+    options.cacheDir = cache_dir;
+
+    for (int round = 0; round < 2; ++round) {
+        runner::SweepRunner sweep(options);
+        const auto results = sweep.run(cells);
+        ASSERT_EQ(results.size(), cells.size());
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            ASSERT_TRUE(results[i].ok) << results[i].error;
+            EXPECT_EQ(digest(results[i].results), expected[i])
+                << "round " << round << " cell " << i;
+            EXPECT_EQ(results[i].fromCache, round == 1)
+                << "round " << round << " cell " << i;
+        }
+        if (round == 1) {
+            EXPECT_EQ(sweep.stats().executed, 0);
+            EXPECT_EQ(sweep.stats().cacheHits,
+                      static_cast<int>(cells.size()));
+        }
+    }
+    std::filesystem::remove_all(cache_dir);
 }
 
 } // namespace

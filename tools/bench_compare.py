@@ -105,6 +105,10 @@ def main():
     parser.add_argument("--bench",
                         help="bench binary to run (BFGTS_QUICK=1) "
                              "before comparing")
+    parser.add_argument("--bench-arg", action="append", default=[],
+                        help="extra argument for --bench (repeatable;"
+                             " e.g. --bench-arg=--jobs "
+                             "--bench-arg=8)")
     parser.add_argument("--tol", type=float,
                         default=float(os.environ.get(
                             "BFGTS_BENCH_TOL", "0.05")),
@@ -115,7 +119,8 @@ def main():
         with tempfile.TemporaryDirectory() as tmp:
             candidate = os.path.join(tmp, "candidate.json")
             env = dict(os.environ, BFGTS_QUICK="1")
-            subprocess.run([args.bench, "--json", candidate],
+            subprocess.run([args.bench, "--json", candidate]
+                           + args.bench_arg,
                            check=True, env=env,
                            stdout=subprocess.DEVNULL)
             return compare_files(args.baseline, candidate, args.tol)

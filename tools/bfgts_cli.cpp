@@ -35,6 +35,23 @@
  *   --conflict-dot F  write the conflict graph as Graphviz DOT
  *                     (abort edges solid, serializations dashed)
  *   --list            list workloads and managers, then exit
+ *
+ * Sweep mode (runner::SweepRunner; docs/architecture.md):
+ *   bfgts_cli --sweep --workloads Intruder,Genome --cms BFGTS-HW,PTS \
+ *             --seeds 1,2 --jobs 8 --json sweep.json
+ *
+ *   --sweep           run the (workloads x cms x seeds) matrix instead
+ *                     of a single cell; per-cell progress on stderr
+ *   --workloads LIST  comma-separated STAMP benchmarks (default: all)
+ *   --cms LIST        comma-separated manager names (default: the
+ *                     paper's evaluation set)
+ *   --seeds LIST      comma-separated RNG seeds (default: 1)
+ *   --jobs N          worker threads (default 1)
+ *   --cache DIR       on-disk result cache (also BFGTS_SWEEP_CACHE)
+ *   --baselines       add one single-core baseline cell per workload
+ *   --json FILE       write the bfgts-sweep-v1 report
+ *   (--cpus/--tpc/--tx/--bloom-bits/--interval/--slots set the base
+ *    configuration of every cell)
  */
 
 #include <algorithm>
@@ -50,6 +67,7 @@
 
 #include "runner/experiment.h"
 #include "runner/simulation.h"
+#include "runner/sweep.h"
 #include "sim/chrome_trace.h"
 #include "sim/json.h"
 #include "sim/sampler.h"
@@ -97,9 +115,30 @@ usage(const char *argv0)
                  "[--trace-cats tx,sched,cm,predictor,mem]\n"
                  "          [--trace-chrome FILE] [--ts FILE] "
                  "[--ts-interval N] [--conflict-dot FILE]\n"
-                 "          [--list]\n",
-                 argv0);
+                 "          [--list]\n"
+                 "   sweep: %s --sweep [--workloads A,B] [--cms X,Y] "
+                 "[--seeds 1,2]\n"
+                 "          [--jobs N] [--cache DIR] [--baselines] "
+                 "[--json FILE]\n",
+                 argv0, argv0);
     std::exit(1);
+}
+
+/** Split "a,b,c" into its non-empty comma-separated pieces. */
+std::vector<std::string>
+splitList(const std::string &list)
+{
+    std::vector<std::string> pieces;
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        std::size_t comma = list.find(',', start);
+        if (comma == std::string::npos)
+            comma = list.size();
+        if (comma > start)
+            pieces.push_back(list.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return pieces;
 }
 
 /** Parse "tx,cm,..." into categories; exits on unknown names. */
@@ -236,6 +275,100 @@ writeConflictDot(std::ostream &os, const runner::SimResults &r)
     os << "}\n";
 }
 
+/**
+ * --sweep mode: run the (workloads x cms x seeds) matrix through
+ * runner::SweepRunner with per-cell progress on stderr, optionally
+ * prefixed by one single-core baseline cell per workload. Exits
+ * nonzero when any cell failed; a summary line
+ * "sweep: N cells, X executed, Y cached, Z errors" always goes to
+ * stderr (tools/sweep_check.py parses it).
+ */
+int
+runSweep(const std::vector<std::string> &workload_names,
+         const std::vector<std::string> &cm_names,
+         const std::vector<std::string> &seed_names,
+         const runner::RunOptions &base, bool with_baselines,
+         int jobs, const std::string &cache_dir,
+         const std::string &json_path, const char *argv0)
+{
+    std::vector<std::string> workload_list = workload_names;
+    if (workload_list.empty())
+        workload_list = workloads::stampBenchmarkNames();
+    for (const std::string &name : workload_list) {
+        const auto known = workloads::stampBenchmarkNames();
+        if (std::find(known.begin(), known.end(), name)
+            == known.end()) {
+            std::fprintf(stderr,
+                         "unknown sweep workload '%s' (sweep mode "
+                         "runs STAMP benchmarks)\n",
+                         name.c_str());
+            usage(argv0);
+        }
+    }
+
+    std::vector<cm::CmKind> managers;
+    if (cm_names.empty()) {
+        managers = cm::allCmKinds();
+    } else {
+        for (const std::string &name : cm_names)
+            managers.push_back(cm::cmKindFromName(name));
+    }
+
+    std::vector<std::uint64_t> seeds;
+    for (const std::string &name : seed_names)
+        seeds.push_back(std::strtoull(name.c_str(), nullptr, 10));
+    if (seeds.empty())
+        seeds.push_back(base.seed);
+
+    std::vector<runner::SweepCell> cells;
+    if (with_baselines) {
+        for (const std::string &name : workload_list) {
+            runner::SweepCell cell;
+            cell.workload = name;
+            cell.options = base;
+            cell.baseline = true;
+            cells.push_back(cell);
+        }
+    }
+    for (const std::string &name : workload_list) {
+        for (cm::CmKind kind : managers) {
+            for (std::uint64_t seed : seeds) {
+                runner::SweepCell cell;
+                cell.workload = name;
+                cell.cm = kind;
+                cell.options = base;
+                cell.options.seed = seed;
+                cells.push_back(cell);
+            }
+        }
+    }
+
+    runner::SweepOptions sweep_options;
+    sweep_options.jobs = jobs;
+    sweep_options.cacheDir = cache_dir;
+    sweep_options.progress = &std::cerr;
+    runner::SweepRunner sweep(sweep_options);
+    sweep.run(cells);
+
+    const runner::SweepStats &stats = sweep.stats();
+    std::fprintf(stderr,
+                 "sweep: %zu cells, %d executed, %d cached, "
+                 "%d errors\n",
+                 cells.size(), stats.executed, stats.cacheHits,
+                 stats.errors);
+
+    if (!json_path.empty()) {
+        std::ofstream json_file(json_path);
+        if (!json_file) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+        sweep.writeReport(json_file, "cli-sweep");
+    }
+    return stats.errors == 0 ? 0 : 1;
+}
+
 /** The bfgts-obs-v1 "run" report (docs/observability.md). */
 void
 writeJsonReport(std::ostream &os, const std::string &name,
@@ -317,6 +450,18 @@ main(int argc, char **argv)
     sim::Tick ts_interval = 10'000;
     std::string dot_path;
 
+    bool sweep_mode = false;
+    bool sweep_baselines = false;
+    std::vector<std::string> sweep_workloads;
+    std::vector<std::string> sweep_cms;
+    std::vector<std::string> sweep_seeds;
+    int sweep_jobs = 1;
+    std::string sweep_cache;
+    if (const char *env = std::getenv("BFGTS_SWEEP_CACHE");
+        env != nullptr && env[0] != '\0') {
+        sweep_cache = env;
+    }
+
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> const char * {
@@ -368,9 +513,35 @@ main(int argc, char **argv)
                 usage(argv[0]);
         } else if (arg == "--conflict-dot") {
             dot_path = next();
+        } else if (arg == "--sweep") {
+            sweep_mode = true;
+        } else if (arg == "--workloads") {
+            sweep_workloads = splitList(next());
+        } else if (arg == "--cms") {
+            sweep_cms = splitList(next());
+        } else if (arg == "--seeds") {
+            sweep_seeds = splitList(next());
+        } else if (arg == "--jobs") {
+            sweep_jobs = std::atoi(next());
+        } else if (arg == "--cache") {
+            sweep_cache = next();
+        } else if (arg == "--baselines") {
+            sweep_baselines = true;
         } else {
             usage(argv[0]);
         }
+    }
+
+    if (sweep_mode) {
+        runner::RunOptions base;
+        base.numCpus = config.numCpus;
+        base.threadsPerCpu = config.threadsPerCpu;
+        base.seed = config.seed;
+        base.txPerThread = config.txPerThreadOverride;
+        base.tuning = config.tuning;
+        return runSweep(sweep_workloads, sweep_cms, sweep_seeds, base,
+                        sweep_baselines, sweep_jobs, sweep_cache,
+                        json_path, argv[0]);
     }
 
     config.cm = cm::cmKindFromName(manager);
