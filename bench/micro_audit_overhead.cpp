@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Audit-overhead microbench: disabled checking must be free.
+ *
+ * The audit engine is compiled unconditionally; every hook site in
+ * the runner and the subsystems is guarded so that outside --audit
+ * runs it reduces to one branch. This bench prices that guarantee: it
+ * runs the same simulation with auditing off (no engine attached)
+ * and with an engine attached in dry-run mode -- hook sites dispatch
+ * into the engine but every checker body is skipped, which is
+ * exactly the residual cost the hooks can ever impose on an
+ * unaudited run -- and asserts the dry run stays within a small
+ * tolerance of the plain run (default 2%, override with
+ * BFGTS_AUDIT_OVERHEAD_TOL, e.g. =0.05 for noisy CI machines).
+ *
+ * Methodology: the two configurations alternate rep by rep and the
+ * minimum wall time of each is compared, which discards scheduler
+ * noise instead of averaging it in.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.h"
+#include "runner/simulation.h"
+#include "sim/audit.h"
+
+namespace {
+
+double
+runOnce(const runner::SimConfig &config)
+{
+    runner::Simulation simulation(config);
+    const auto t0 = std::chrono::steady_clock::now();
+    simulation.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("micro: disabled-audit hook overhead");
+    bench::JsonReporter json("micro_audit_overhead", argc, argv);
+
+    runner::RunOptions options = bench::defaultOptions();
+    if (!bench::quickMode())
+        options.txPerThread = 60;
+
+    runner::SimConfig off =
+        runner::makeConfig("Intruder", cm::CmKind::BfgtsHw, options);
+    off.audit = false;
+
+    // Engine attached but dry: hook dispatch only, no checker bodies.
+    sim::AuditEngine dry_engine;
+    dry_engine.setDryRun(true);
+    runner::SimConfig dry = off;
+    dry.audit = true;
+    dry.auditEngine = &dry_engine;
+
+    double tolerance = 0.02;
+    if (const char *env = std::getenv("BFGTS_AUDIT_OVERHEAD_TOL"))
+        tolerance = std::atof(env);
+
+    // Warm-up run (page in code and workload data), then alternate.
+    runOnce(off);
+    const int reps = bench::quickMode() ? 3 : 5;
+    double min_off = 1e30;
+    double min_dry = 1e30;
+    for (int rep = 0; rep < reps; ++rep) {
+        min_off = std::min(min_off, runOnce(off));
+        min_dry = std::min(min_dry, runOnce(dry));
+    }
+
+    const double overhead = min_dry / min_off - 1.0;
+    std::printf("  audit off        %8.1f ms\n", min_off * 1e3);
+    std::printf("  dry-run hooks    %8.1f ms\n", min_dry * 1e3);
+    std::printf("  overhead         %+7.2f%%  (tolerance %.0f%%)\n",
+                100.0 * overhead, 100.0 * tolerance);
+
+    json.addRow()
+        .set("offSeconds", min_off)
+        .set("drySeconds", min_dry)
+        .set("overhead", overhead)
+        .set("tolerance", tolerance);
+    if (!json.write())
+        return 1;
+
+    if (overhead > tolerance) {
+        std::printf("FAIL: disabled-audit overhead above tolerance\n");
+        return 1;
+    }
+    std::printf("OK\n");
+    return 0;
+}

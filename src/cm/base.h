@@ -31,6 +31,7 @@ namespace cpu {
 class PredictorSystem;
 }
 namespace sim {
+class AuditEngine;
 class EventQueue;
 }
 
@@ -44,6 +45,8 @@ struct Services {
     cpu::PredictorSystem *predictors = nullptr;
     /** Simulated clock, for throughput-based self-tuning. */
     const sim::EventQueue *events = nullptr;
+    /** Invariant auditor; null or disabled outside --audit runs. */
+    sim::AuditEngine *audit = nullptr;
 };
 
 /**

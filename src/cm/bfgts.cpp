@@ -1,8 +1,11 @@
 #include "bfgts.h"
 
 #include <algorithm>
+#include <string>
 
 #include "cpu/predictor.h"
+#include "sim/audit.h"
+#include "sim/event_queue.h"
 #include "sim/logging.h"
 
 namespace cm {
@@ -337,6 +340,100 @@ BfgtsManager::onTxAbort(const TxInfo &tx, const TxInfo &other)
     return resp;
 }
 
+void
+BfgtsManager::auditCheck(sim::AuditEngine &audit, sim::Tick tick) const
+{
+    for (std::size_t i = 0; i < conf_.size(); ++i) {
+        if (!audit.check(conf_[i] >= 0.0 && conf_[i] <= 255.0,
+                         "cm.confidence",
+                         "confidence entry " + std::to_string(i)
+                             + " escaped the saturating 0..255 range",
+                         tick)) {
+            break; // one witness per sweep keeps Collect mode cheap
+        }
+    }
+    for (std::size_t i = 0; i < stats_.size(); ++i) {
+        const DtxStats &s = stats_[i];
+        audit.check(s.similarity >= 0.0 && s.similarity <= 1.0,
+                    "bloom.similarity",
+                    "similarity EWMA of stats slot " + std::to_string(i)
+                        + " escaped [0,1]",
+                    tick);
+        audit.check(s.avgSize >= 0.0, "cm.stats",
+                    "negative average footprint in stats slot "
+                        + std::to_string(i),
+                    tick);
+        audit.check(s.waitingOn == htm::kNoTx
+                        || (ids_.staticOf(s.waitingOn)
+                                < ids_.numStaticTx()
+                            && ids_.threadOf(s.waitingOn)
+                                   < ids_.numThreads()),
+                    "cm.stats",
+                    "stats slot " + std::to_string(i)
+                        + " records an out-of-range serialization "
+                          "target",
+                    tick);
+    }
+    for (std::size_t i = 0; i < pressure_.size(); ++i) {
+        audit.check(pressure_[i] >= 0.0 && pressure_[i] <= 1.0,
+                    "cm.pressure",
+                    "conflict-pressure EWMA of site "
+                        + std::to_string(i) + " escaped [0,1]",
+                    tick);
+    }
+}
+
+void
+BfgtsManager::auditSignature(const TxInfo &tx,
+                             const bloom::Signature &n_bloom,
+                             const std::vector<mem::Addr> &rw_lines)
+{
+    sim::AuditEngine &audit = *services_.audit;
+    const sim::Tick tick =
+        services_.events != nullptr ? services_.events->curTick() : 0;
+    const auto dtx = static_cast<std::int64_t>(tx.dTx);
+    const auto stx = static_cast<std::int64_t>(tx.sTx);
+
+    const double est = n_bloom.estimateSize();
+    audit.check(est >= 0.0, "bloom.estimate",
+                "negative Eq. 2 set-size estimate", tick, tx.cpu,
+                tx.thread, stx, dtx);
+    if (noOverhead()) {
+        // Perfect signatures estimate exactly: the count of distinct
+        // lines inserted.
+        std::vector<mem::Addr> unique(rw_lines);
+        std::sort(unique.begin(), unique.end());
+        unique.erase(std::unique(unique.begin(), unique.end()),
+                     unique.end());
+        audit.check(est == static_cast<double>(unique.size()),
+                    "bloom.estimate",
+                    "perfect signature misestimates its exact set "
+                    "size",
+                    tick, tx.cpu, tx.thread, stx, dtx);
+    }
+
+    // Eq. 3 intersection estimates are bounded by the smaller of the
+    // two Eq. 2 size estimates (monotonicity of the estimator), and
+    // the derived Eq. 4 similarity lands in [0,1].
+    const DtxStats &self = statsFor(tx.dTx);
+    if (self.lastBloom) {
+        const double other = self.lastBloom->estimateSize();
+        const double inter =
+            n_bloom.estimateIntersectionSize(*self.lastBloom);
+        const double bound = std::min(est, other) + 1e-9;
+        audit.check(inter >= -1e-9 && inter <= bound, "bloom.estimate",
+                    "Eq. 3 intersection estimate exceeds the smaller "
+                    "set estimate",
+                    tick, tx.cpu, tx.thread, stx, dtx);
+        const double new_sim = bloom::signatureSimilarity(
+            n_bloom, *self.lastBloom, self.avgSize);
+        audit.check(new_sim >= 0.0 && new_sim <= 1.0,
+                    "bloom.similarity",
+                    "Eq. 4 similarity escaped [0,1]", tick, tx.cpu,
+                    tx.thread, stx, dtx);
+    }
+}
+
 CmCost
 BfgtsManager::onTxCommit(const TxInfo &tx,
                          const std::vector<mem::Addr> &rw_lines)
@@ -391,6 +488,9 @@ BfgtsManager::onTxCommit(const TxInfo &tx,
     std::unique_ptr<bloom::Signature> n_bloom = makeSignature();
     for (mem::Addr line : rw_lines)
         n_bloom->insert(line);
+
+    if (services_.audit != nullptr && services_.audit->shouldCheck())
+        auditSignature(tx, *n_bloom, rw_lines);
 
     if (sim_update_due) {
         // updateBloom(), Example 4: newSim via Eqs. 2-4 against the

@@ -219,6 +219,54 @@ class BfgtsManager : public ContentionManagerBase
 
     const BfgtsConfig &config() const { return config_; }
 
+    /**
+     * Invariant audit (sim/audit.h) over the prediction structures:
+     *  - cm.confidence:   every confidence-table entry stays in the
+     *    saturating 0..255 range writeConfidence() clamps to;
+     *  - bloom.similarity: every similarity EWMA stays in [0,1];
+     *  - cm.stats:        average footprints are non-negative and a
+     *    recorded serialization target is a valid dTxID slot;
+     *  - cm.pressure:     hybrid conflict-pressure EWMAs stay in
+     *    [0,1].
+     */
+    void auditCheck(sim::AuditEngine &audit, sim::Tick tick) const;
+
+    // ---- audit mutation-selftest hooks. Never call outside tests.
+    /** Corrupt a confidence entry, bypassing the saturating clamp. */
+    void
+    testCorruptConfidence(htm::STxId row, htm::STxId col, double value)
+    {
+        conf_[static_cast<std::size_t>(slotOf(row))
+                  * static_cast<std::size_t>(numSlots())
+              + static_cast<std::size_t>(slotOf(col))] = value;
+    }
+    /** Corrupt a similarity EWMA out of [0,1]. */
+    void
+    testCorruptSimilarity(htm::DTxId dtx, double value)
+    {
+        statsFor(dtx).similarity = value;
+    }
+    /** Corrupt an average-footprint estimate (negative = broken). */
+    void
+    testCorruptAvgSize(htm::DTxId dtx, double value)
+    {
+        statsFor(dtx).avgSize = value;
+    }
+    /** Corrupt a conflict-pressure EWMA out of [0,1]. */
+    void
+    testCorruptPressure(htm::STxId stx, double value)
+    {
+        pressure_[static_cast<std::size_t>(slotOf(stx))] = value;
+    }
+    /** Run the commit-time signature audit on a crafted signature
+     *  (requires services.audit). */
+    void
+    testAuditSignature(const TxInfo &tx, const bloom::Signature &sig,
+                       const std::vector<mem::Addr> &rw_lines)
+    {
+        auditSignature(tx, sig, rw_lines);
+    }
+
   private:
     /** Number of physical slots backing the prediction structures. */
     int numSlots() const;
@@ -252,6 +300,15 @@ class BfgtsManager : public ContentionManagerBase
     /** suspendTx() (Example 2): returns the final decision. */
     BeginDecision suspend(const TxInfo &tx, htm::DTxId wait_on,
                           CmCost cost);
+
+    /**
+     * Commit-time audit of the freshly built signature: Eq. 2-4
+     * estimator bounds ("bloom.estimate", "bloom.similarity").
+     * Caller guarantees services_.audit is attached and checking.
+     */
+    void auditSignature(const TxInfo &tx,
+                        const bloom::Signature &n_bloom,
+                        const std::vector<mem::Addr> &rw_lines);
 
     /** Hybrid pressure update. */
     void updatePressure(htm::STxId stx, bool conflicted);

@@ -1,5 +1,8 @@
 #include "predictor.h"
 
+#include <string>
+
+#include "sim/audit.h"
 #include "sim/logging.h"
 
 namespace cpu {
@@ -107,6 +110,32 @@ PredictorSystem::cpuTableEntry(sim::CpuId viewer, sim::CpuId owner) const
     sim_assert(owner >= 0 && owner < numCpus_);
     return units_[static_cast<std::size_t>(viewer)]
         .cpuTable[static_cast<std::size_t>(owner)];
+}
+
+void
+PredictorSystem::auditCheck(sim::AuditEngine &audit,
+                            const std::vector<htm::DTxId> &expected,
+                            sim::Tick tick) const
+{
+    sim_assert(expected.size() == static_cast<std::size_t>(numCpus_));
+    for (int owner = 0; owner < numCpus_; ++owner) {
+        const htm::DTxId truth =
+            expected[static_cast<std::size_t>(owner)];
+        for (int viewer = 0; viewer < numCpus_; ++viewer) {
+            const htm::DTxId seen =
+                units_[static_cast<std::size_t>(viewer)]
+                    .cpuTable[static_cast<std::size_t>(owner)];
+            audit.check(seen == truth, "predictor.cputable",
+                        "CPU Table of cpu "
+                            + std::to_string(viewer)
+                            + " disagrees with the running dTxID on "
+                              "cpu "
+                            + std::to_string(owner),
+                        tick, static_cast<sim::CpuId>(owner),
+                        sim::kNoThread, -1,
+                        static_cast<std::int64_t>(truth));
+        }
+    }
 }
 
 const mem::Cache &

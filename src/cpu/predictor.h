@@ -35,6 +35,10 @@
 #include "sim/stats.h"
 #include "sim/types.h"
 
+namespace sim {
+class AuditEngine;
+}
+
 namespace cpu {
 
 /** Timing and geometry of one predictor unit. */
@@ -117,6 +121,30 @@ class PredictorSystem
 
     /** CPU Table entry of @p owner as seen by @p viewer (tests). */
     htm::DTxId cpuTableEntry(sim::CpuId viewer, sim::CpuId owner) const;
+
+    /**
+     * Invariant audit (sim/audit.h): the snooped CPU Tables are
+     * coherent -- every predictor unit agrees on which dTxID runs on
+     * every CPU, and those entries match @p expected (the committer's
+     * ground truth, expected[cpu] == kNoTx when that CPU runs no
+     * transaction). Reports "predictor.cputable".
+     */
+    void auditCheck(sim::AuditEngine &audit,
+                    const std::vector<htm::DTxId> &expected,
+                    sim::Tick tick) const;
+
+    /**
+     * Test hook for the audit mutation selftest: corrupt one unit's
+     * CPU Table entry so predictor.cputable must fire. Never call
+     * outside tests.
+     */
+    void
+    testCorruptCpuTable(sim::CpuId viewer, sim::CpuId owner,
+                        htm::DTxId dtx)
+    {
+        units_[static_cast<std::size_t>(viewer)]
+            .cpuTable[static_cast<std::size_t>(owner)] = dtx;
+    }
 
     /** Confidence cache of @p cpu (stats/tests). */
     const mem::Cache &confCache(sim::CpuId cpu) const;

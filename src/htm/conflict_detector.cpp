@@ -1,7 +1,9 @@
 #include "conflict_detector.h"
 
 #include <algorithm>
+#include <string>
 
+#include "sim/audit.h"
 #include "sim/logging.h"
 
 namespace htm {
@@ -201,6 +203,103 @@ ConflictDetector::consistentWith(
     }
     return actual_reads == expected_reads
         && actual_writes == expected_writes;
+}
+
+void
+ConflictDetector::auditCheck(sim::AuditEngine &audit,
+                             const std::vector<const TxState *> &active,
+                             sim::Tick tick) const
+{
+    std::size_t expected_reads = 0;
+    std::size_t expected_writes = 0;
+    for (const TxState *tx : active) {
+        const auto dtx = static_cast<std::int64_t>(tx->dTxId);
+        // lint:allow(unordered-iteration): order-insensitive
+        // membership checks; the audit reads state, never mutates.
+        for (mem::Addr line : tx->readSet) {
+            auto it = lines_.find(line);
+            const bool registered =
+                it != lines_.end()
+                && std::find(it->second.readers.begin(),
+                             it->second.readers.end(), tx)
+                       != it->second.readers.end();
+            audit.check(registered, "htm.registry",
+                        "read-set line " + std::to_string(line)
+                            + " missing from line registry",
+                        tick, tx->cpu, tx->thread, -1, dtx);
+            ++expected_reads;
+        }
+        // lint:allow(unordered-iteration): same -- membership checks.
+        for (mem::Addr line : tx->writeSet) {
+            auto it = lines_.find(line);
+            audit.check(it != lines_.end() && it->second.writer == tx,
+                        "htm.registry",
+                        "write-set line " + std::to_string(line)
+                            + " not registered to its writer",
+                        tick, tx->cpu, tx->thread, -1, dtx);
+            ++expected_writes;
+        }
+    }
+
+    // Reverse direction plus eager isolation: a written line has one
+    // writer and no foreign readers (two committed writers on one
+    // line in overlapping windows are impossible by construction).
+    std::size_t actual_reads = 0;
+    std::size_t actual_writes = 0;
+    // lint:allow(unordered-iteration): commutative sums and per-line
+    // checks; no simulated behavior depends on the order.
+    for (const auto &[line, ls] : lines_) {
+        actual_reads += ls.readers.size();
+        if (ls.writer == nullptr)
+            continue;
+        ++actual_writes;
+        bool foreign_reader = false;
+        for (const TxState *reader : ls.readers) {
+            if (reader != ls.writer)
+                foreign_reader = true;
+        }
+        audit.check(!foreign_reader, "htm.isolation",
+                    "line " + std::to_string(line)
+                        + " has a writer and a foreign reader",
+                    tick, ls.writer->cpu, ls.writer->thread, -1,
+                    static_cast<std::int64_t>(ls.writer->dTxId));
+    }
+    audit.check(actual_reads == expected_reads
+                    && actual_writes == expected_writes,
+                "htm.registry",
+                "line registry holds entries no active tx owns", tick);
+
+    if (policy_.detectionMode != DetectionMode::Signature)
+        return;
+
+    // Signatures exist only for active transactions (removeTx erases
+    // them on commit/abort) and never report false negatives on the
+    // owner's own exact sets.
+    // lint:allow(unordered-iteration): independent per-signature
+    // checks in an observational sweep.
+    for (const auto &[owner, sigs] : signatures_) {
+        const bool is_active =
+            std::find(active.begin(), active.end(), owner)
+            != active.end();
+        audit.check(is_active, "bloom.membership",
+                    "signature survives a committed/aborted tx", tick,
+                    owner->cpu, owner->thread, -1,
+                    static_cast<std::int64_t>(owner->dTxId));
+        if (!is_active)
+            continue;
+        bool covered = true;
+        // lint:allow(unordered-iteration): membership-only checks.
+        for (mem::Addr line : owner->readSet)
+            covered = covered && sigs->readSig.mayContain(line);
+        // lint:allow(unordered-iteration): same.
+        for (mem::Addr line : owner->writeSet)
+            covered = covered && sigs->writeSig.mayContain(line);
+        audit.check(covered, "bloom.membership",
+                    "signature misses a line of its own exact set "
+                    "(false negative)",
+                    tick, owner->cpu, owner->thread, -1,
+                    static_cast<std::int64_t>(owner->dTxId));
+    }
 }
 
 } // namespace htm

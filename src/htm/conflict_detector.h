@@ -31,6 +31,10 @@
 #include "sim/det_hash.h"
 #include "sim/stats.h"
 
+namespace sim {
+class AuditEngine;
+}
+
 namespace htm {
 
 /** How transactional read/write sets are checked for conflicts. */
@@ -156,6 +160,34 @@ class ConflictDetector
 
     /** Sanity check (tests): registry matches every active tx's sets. */
     bool consistentWith(const std::vector<TxState *> &active) const;
+
+    /**
+     * Invariant audit (sim/audit.h): granular version of
+     * consistentWith() that reports which invariant broke.
+     *  - htm.registry:  every read/write-set entry of every active tx
+     *    is present in the line registry and vice versa;
+     *  - htm.isolation: eager conflict detection holds -- a written
+     *    line has exactly one writer and no foreign readers;
+     *  - bloom.membership (Signature mode): a transaction's hardware
+     *    signatures contain its entire exact sets (Bloom filters
+     *    never report false negatives) and signatures exist only for
+     *    active transactions (cleared on commit/abort).
+     */
+    void auditCheck(sim::AuditEngine &audit,
+                    const std::vector<const TxState *> &active,
+                    sim::Tick tick) const;
+
+    /**
+     * Test hook for the audit mutation selftest: force @p tx as the
+     * registered writer of @p line without conflict checking,
+     * corrupting isolation so htm.isolation / htm.registry must
+     * fire. Never call outside tests.
+     */
+    void
+    testForceWriter(mem::Addr line, TxState &tx)
+    {
+        lines_[line].writer = &tx;
+    }
 
   private:
     struct LineState {

@@ -1,5 +1,8 @@
 #include "scheduler.h"
 
+#include <string>
+
+#include "sim/audit.h"
 #include "sim/logging.h"
 
 namespace os {
@@ -219,6 +222,59 @@ OsScheduler::dispatch(sim::CpuId cpu_id)
         dispatchFn_(tid);
     } else {
         events_.scheduleIn(ctx_cost, [this, tid] { dispatchFn_(tid); });
+    }
+}
+
+void
+OsScheduler::auditCheck(sim::AuditEngine &audit, sim::Tick tick) const
+{
+    // How many places each thread occupies across run slots and
+    // ready queues; a schedulable entity exists at most once.
+    std::vector<int> placements(threads_.size(), 0);
+
+    for (std::size_t c = 0; c < cpus_.size(); ++c) {
+        const auto cpu_id = static_cast<sim::CpuId>(c);
+        const CpuState &cpu = cpus_[c];
+        if (cpu.running != sim::kNoThread) {
+            const ThreadContext &tc = thread(cpu.running);
+            ++placements[static_cast<std::size_t>(cpu.running)];
+            audit.check(tc.state == ThreadState::Running,
+                        "os.readyqueue",
+                        "running thread is not in state Running", tick,
+                        cpu_id, cpu.running);
+            audit.check(tc.cpu == cpu_id, "os.affinity",
+                        "thread runs on a CPU that is not its home",
+                        tick, cpu_id, cpu.running);
+        }
+        for (sim::ThreadId tid : cpu.readyQueue) {
+            const ThreadContext &tc = thread(tid);
+            ++placements[static_cast<std::size_t>(tid)];
+            audit.check(tc.state == ThreadState::Ready,
+                        "os.readyqueue",
+                        "queued thread is not in state Ready", tick,
+                        cpu_id, tid);
+            audit.check(tc.cpu == cpu_id, "os.affinity",
+                        "thread queued on a foreign CPU's ready queue",
+                        tick, cpu_id, tid);
+            audit.check(tid != cpu.running, "os.affinity",
+                        "running thread also sits in a ready queue",
+                        tick, cpu_id, tid);
+        }
+    }
+
+    for (const ThreadContext &tc : threads_) {
+        audit.check(placements[static_cast<std::size_t>(tc.id)] <= 1,
+                    "os.affinity",
+                    "thread occupies more than one scheduler slot",
+                    tick, tc.cpu, tc.id);
+        if (tc.state == ThreadState::Blocked
+            || tc.state == ThreadState::Finished) {
+            audit.check(
+                placements[static_cast<std::size_t>(tc.id)] == 0,
+                "os.readyqueue",
+                "blocked/finished thread is queued or running", tick,
+                tc.cpu, tc.id);
+        }
     }
 }
 

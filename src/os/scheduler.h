@@ -136,6 +136,29 @@ class OsScheduler
     /** Total cycles each CPU spent with no thread to run. */
     sim::Cycles idleCycles(sim::CpuId cpu) const;
 
+    /**
+     * Invariant audit (sim/audit.h):
+     *  - os.affinity:   the running thread of a CPU is in state
+     *    Running with a matching home CPU, threads never appear on a
+     *    foreign CPU's queue, and every thread occupies at most one
+     *    place in the system (one run slot or one queue position);
+     *  - os.readyqueue: queued threads are Ready; Blocked and
+     *    Finished threads are neither queued nor running.
+     */
+    void auditCheck(sim::AuditEngine &audit, sim::Tick tick) const;
+
+    /**
+     * Test hook for the audit mutation selftest: push @p tid onto
+     * @p cpu's ready queue unconditionally, duplicating or
+     * misplacing it so os.affinity / os.readyqueue must fire. Never
+     * call outside tests.
+     */
+    void
+    testPushReady(sim::ThreadId tid, sim::CpuId cpu)
+    {
+        cpus_[static_cast<std::size_t>(cpu)].readyQueue.push_back(tid);
+    }
+
   private:
     struct CpuState {
         std::deque<sim::ThreadId> readyQueue;

@@ -22,6 +22,7 @@
 #include "htm/version_log.h"
 #include "mem/mem_system.h"
 #include "os/scheduler.h"
+#include "sim/audit.h"
 #include "sim/trace.h"
 #include "workloads/workload.h"
 
@@ -115,6 +116,26 @@ struct SimConfig {
      * summary after run().
      */
     sim::Sampler *sampler = nullptr;
+
+    /**
+     * Checked simulation mode (docs/static-analysis.md): run every
+     * invariant auditor at transaction boundaries and end of run.
+     * Checks are purely observational -- an audited run produces
+     * byte-identical results and output to an unaudited one (or
+     * panics with a structured violation report). Defaults to the
+     * BFGTS_AUDIT environment switch so whole test and bench suites
+     * can be audited without code changes; `--audit` and this field
+     * layer on top.
+     */
+    bool audit = sim::auditEnvEnabled();
+
+    /**
+     * Optional externally owned audit engine. When set (and `audit`
+     * is true) the simulation reports through it instead of an
+     * internal Panic-mode engine, letting tests collect violations
+     * and inspect which checks fired.
+     */
+    sim::AuditEngine *auditEngine = nullptr;
 
     /** Total software threads. */
     int

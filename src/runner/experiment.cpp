@@ -17,6 +17,9 @@ makeConfig(const std::string &workload, cm::CmKind kind,
     config.seed = options.seed;
     config.txPerThreadOverride = options.txPerThread;
     config.tuning = options.tuning;
+    // The SimConfig default already reflects BFGTS_AUDIT; --audit can
+    // only turn checking on, never below the environment's level.
+    config.audit = config.audit || options.audit;
     if (options.bloomBits != 0)
         config.tuning.bfgts.bloom.numBits = options.bloomBits;
     if (options.smallTxInterval != 0)

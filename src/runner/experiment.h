@@ -37,6 +37,9 @@ struct RunOptions {
     int smallTxInterval = 0;
     /** Base per-manager tunables (bloomBits/interval layered on top). */
     cm::CmTuning tuning;
+    /** Checked simulation mode (--audit); ORed with the BFGTS_AUDIT
+     *  environment switch via the SimConfig default. */
+    bool audit = false;
 };
 
 /** Assemble a full SimConfig for one evaluation cell. */

@@ -43,10 +43,25 @@ Simulation::Simulation(const SimConfig &config)
     predictors_ = std::make_unique<cpu::PredictorSystem>(
         config_.numCpus, *ids_, config_.predictor);
 
+    if (config_.audit) {
+        if (config_.auditEngine != nullptr) {
+            audit_ = config_.auditEngine;
+        } else {
+            ownedAudit_ = std::make_unique<sim::AuditEngine>();
+            ownedAudit_->setTraceSink(config_.traceSink);
+            audit_ = ownedAudit_.get();
+        }
+        audit_->setEnabled(true);
+        events_.setAudit(audit_);
+        lifecycle_ =
+            std::make_unique<LifecycleAuditor>(*audit_, num_threads);
+    }
+
     cm::Services services;
     services.scheduler = sched_.get();
     services.rng = &rng_;
     services.events = &events_;
+    services.audit = audit_;
     if (config_.cm == cm::CmKind::BfgtsHw
         || config_.cm == cm::CmKind::BfgtsHwBackoff) {
         services.predictors = predictors_.get();
@@ -230,6 +245,10 @@ Simulation::doStartDescriptor(Worker &worker)
     if (worker.done >= tx_total) {
         lastFinish_ = std::max(lastFinish_, events_.curTick());
         ++finishedThreads_;
+        if (auditing()) {
+            auditLifecycle(worker,
+                           LifecycleAuditor::TxEvent::ThreadFinish);
+        }
         sched_->finishCurrent(worker.tid);
         return false;
     }
@@ -293,6 +312,10 @@ Simulation::doTxBegin(Worker &worker)
         worker.reportedEnemies.clear();
         runningTx_.insert(worker.tx.dTxId);
         cm_->onTxStart(info);
+        if (auditing()) {
+            auditLifecycle(worker, LifecycleAuditor::TxEvent::Begin);
+            auditSweep();
+        }
         worker.phase = Phase::TxAccess;
         if (decision.cost.sched + decision.cost.kernel == 0)
             return true;
@@ -482,6 +505,10 @@ Simulation::doTxAccess(Worker &worker)
     switch (result.resolution) {
       case htm::Resolution::Proceed: {
         worker.stallRetries = 0;
+        if (auditing()) {
+            worker.waitHolders.clear();
+            auditLifecycle(worker, LifecycleAuditor::TxEvent::Access);
+        }
         sim::Cycles latency =
             mem_->access(worker.tx.cpu, access.addr, access.write,
                          events_.curTick())
@@ -498,6 +525,12 @@ Simulation::doTxAccess(Worker &worker)
       }
       case htm::Resolution::StallRequester: {
         ++worker.stallRetries;
+        if (auditing()) {
+            worker.waitHolders.clear();
+            for (const htm::TxState *holder : result.conflicts)
+                worker.waitHolders.insert(holder->dTxId);
+            auditSweep();
+        }
         notify_charges.push_back(
             {config_.nackRetryInterval, Bucket::Attempt});
         advanceMulti(worker, notify_charges);
@@ -522,6 +555,11 @@ Simulation::doTxAccess(Worker &worker)
             {config_.nackRetryInterval, Bucket::Attempt});
         if (any_committing) {
             ++worker.stallRetries;
+            if (auditing()) {
+                worker.waitHolders.clear();
+                for (const htm::TxState *holder : result.conflicts)
+                    worker.waitHolders.insert(holder->dTxId);
+            }
             advanceMulti(worker, notify_charges);
             return false;
         }
@@ -551,9 +589,13 @@ Simulation::abortTx(Worker &worker, const cm::TxInfo &enemy)
         worker.pendingEvent = sim::kNoEvent;
     }
 
+    if (auditing())
+        auditLifecycle(worker, LifecycleAuditor::TxEvent::Abort);
+
     detector_->removeTx(worker.tx);
     runningTx_.erase(worker.tx.dTxId);
     worker.tx.active = false;
+    worker.waitHolders.clear();
 
     aborts_.inc();
     abortCyclesHist_.sample(static_cast<double>(worker.attemptCycles));
@@ -604,6 +646,8 @@ Simulation::abortTx(Worker &worker, const cm::TxInfo &enemy)
 
     const cm::AbortResponse resp =
         cm_->onTxAbort(infoFor(worker), enemy);
+    if (auditing())
+        auditSweep();
 
     worker.tx.resetAttempt();
     worker.accessIndex = 0;
@@ -647,12 +691,18 @@ Simulation::doCommitDone(Worker &worker)
     // across standard libraries and hash seeds.
     std::sort(rw_lines.begin(), rw_lines.end());
 
+    if (auditing())
+        auditLifecycle(worker, LifecycleAuditor::TxEvent::Commit);
+
     detector_->removeTx(worker.tx);
     runningTx_.erase(worker.tx.dTxId);
     worker.tx.active = false;
     worker.committing = false;
+    worker.waitHolders.clear();
 
     const cm::CmCost cost = cm_->onTxCommit(infoFor(worker), rw_lines);
+    if (auditing())
+        auditSweep();
 
     commits_.inc();
     if (wantsTrace(sim::TraceCategory::Tx)) {
@@ -675,6 +725,93 @@ Simulation::doCommitDone(Worker &worker)
     advanceMulti(worker, {{cost.sched, Bucket::Sched},
                           {cost.kernel, Bucket::Kernel}});
     return false;
+}
+
+void
+Simulation::auditLifecycle(const Worker &worker,
+                           LifecycleAuditor::TxEvent event)
+{
+    lifecycle_->onEvent(worker.tid, event, events_.curTick(),
+                        worker.tx.cpu,
+                        static_cast<std::int64_t>(worker.tx.dTxId));
+}
+
+void
+Simulation::auditSweep()
+{
+    const sim::Tick tick = events_.curTick();
+
+    // Active transactions, ordered by dTxID (runningTx_ is a set).
+    std::vector<const htm::TxState *> active;
+    std::vector<ActiveTx> active_ts;
+    active.reserve(runningTx_.size());
+    active_ts.reserve(runningTx_.size());
+    for (htm::DTxId dtx : runningTx_) {
+        const Worker &w =
+            workers_[static_cast<std::size_t>(ids_->threadOf(dtx))];
+        active.push_back(&w.tx);
+        active_ts.push_back(
+            {static_cast<std::int64_t>(dtx), w.tx.timestamp});
+    }
+
+    detector_->auditCheck(*audit_, active, tick);
+    sched_->auditCheck(*audit_, tick);
+
+    // NACK wait-for edges from stalled workers to their recorded
+    // holders, restricted to still-active endpoints (a holder that
+    // finished just means the stall ends at the next retry).
+    std::vector<WaitEdge> edges;
+    for (const Worker &w : workers_) {
+        if (!w.tx.active || w.waitHolders.empty())
+            continue;
+        for (htm::DTxId holder : w.waitHolders) {
+            if (!isTxRunning(holder))
+                continue;
+            const Worker &h = workers_[static_cast<std::size_t>(
+                ids_->threadOf(holder))];
+            edges.push_back({static_cast<std::int64_t>(w.tx.dTxId),
+                             w.tx.timestamp,
+                             static_cast<std::int64_t>(holder),
+                             h.tx.timestamp});
+        }
+    }
+    auditWaitGraph(*audit_, active_ts, edges, tick);
+
+    if (const auto *base =
+            dynamic_cast<const cm::ContentionManagerBase *>(
+                cm_.get())) {
+        // The CM's software CPU Table only names running txs.
+        std::vector<std::int64_t> cm_view(
+            static_cast<std::size_t>(config_.numCpus), -1);
+        for (int cpu = 0; cpu < config_.numCpus; ++cpu) {
+            const htm::DTxId dtx = base->runningOn(cpu);
+            if (dtx != htm::kNoTx)
+                cm_view[static_cast<std::size_t>(cpu)] =
+                    static_cast<std::int64_t>(dtx);
+        }
+        std::vector<std::int64_t> running;
+        running.reserve(runningTx_.size());
+        for (htm::DTxId dtx : runningTx_)
+            running.push_back(static_cast<std::int64_t>(dtx));
+        auditCmCpuTable(*audit_, cm_view, running, tick);
+    }
+    if (const auto *bfgts =
+            dynamic_cast<const cm::BfgtsManager *>(cm_.get())) {
+        bfgts->auditCheck(*audit_, tick);
+        const cm::BfgtsVariant variant = bfgts->config().variant;
+        if (variant == cm::BfgtsVariant::Hw
+            || variant == cm::BfgtsVariant::HwBackoff) {
+            // The snooped hardware CPU Tables mirror the software
+            // view the broadcasts are generated from.
+            std::vector<htm::DTxId> expected(
+                static_cast<std::size_t>(config_.numCpus),
+                htm::kNoTx);
+            for (int cpu = 0; cpu < config_.numCpus; ++cpu)
+                expected[static_cast<std::size_t>(cpu)] =
+                    bfgts->runningOn(cpu);
+            predictors_->auditCheck(*audit_, expected, tick);
+        }
+    }
 }
 
 void
@@ -1045,6 +1182,29 @@ Simulation::run()
     if (auto *base =
             dynamic_cast<cm::ContentionManagerBase *>(cm_.get())) {
         results.serializationEdges = base->serializationEdges();
+    }
+
+    if (auditing()) {
+        // End-of-run conservation: every begin resolved, the cycle
+        // buckets account for the whole machine, and independently
+        // maintained totals agree across layers.
+        lifecycle_->finalize(lastFinish_);
+        audit_->check(lifecycle_->commits() == results.commits
+                          && lifecycle_->aborts() == results.aborts,
+                      "cycles.results",
+                      "lifecycle-auditor totals disagree with the "
+                      "runner counters",
+                      lastFinish_);
+        auditBreakdown(*audit_, results.breakdown, results.runtime,
+                       config_.numCpus, lastFinish_);
+        if (const auto *base =
+                dynamic_cast<const cm::ContentionManagerBase *>(
+                    cm_.get())) {
+            auditResultTotals(*audit_, results,
+                              base->commits().value(),
+                              base->aborts().value(), lastFinish_);
+        }
+        auditSweep();
     }
     return results;
 }

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "htm/version_log.h"
+#include "runner/audit_checks.h"
 #include "runner/config.h"
 #include "runner/results.h"
 #include "sim/det_hash.h"
@@ -127,6 +128,9 @@ class Simulation
          *  Ordered by dTxID so any future iteration (e.g. picking a
          *  victim among enemies) is deterministic by construction. */
         std::set<htm::DTxId> reportedEnemies;
+        /** Holders this worker currently NACK-waits on; maintained
+         *  only in checked mode, feeds the wait-graph audit. */
+        std::set<htm::DTxId> waitHolders;
         Breakdown buckets;
     };
 
@@ -194,6 +198,21 @@ class Simulation
     void recordSimilarity(Worker &worker,
                           const std::vector<mem::Addr> &rw_lines);
 
+    /** True when invariant checking is active this run. */
+    bool
+    auditing() const
+    {
+        return audit_ != nullptr && audit_->shouldCheck();
+    }
+
+    /** Feed the lifecycle FSM auditor (checked mode only). */
+    void auditLifecycle(const Worker &worker,
+                        LifecycleAuditor::TxEvent event);
+
+    /** Structural sweep over every subsystem's invariants, run at
+     *  transaction boundaries and end of run (checked mode only). */
+    void auditSweep();
+
     SimConfig config_;
     sim::EventQueue events_;
     std::unique_ptr<workloads::Workload> workload_;
@@ -204,6 +223,11 @@ class Simulation
     std::unique_ptr<cpu::PredictorSystem> predictors_;
     std::unique_ptr<cm::ContentionManager> cm_;
     sim::Rng rng_;
+
+    /** Checked simulation mode (null members when audit is off). */
+    std::unique_ptr<sim::AuditEngine> ownedAudit_;
+    sim::AuditEngine *audit_ = nullptr;
+    std::unique_ptr<LifecycleAuditor> lifecycle_;
 
     std::vector<Worker> workers_;
     /** Active transactions, ordered by dTxID: victim/enemy scans over

@@ -9,6 +9,7 @@
 #include <sstream>
 #include <utility>
 
+#include "sim/audit.h"
 #include "sim/json.h"
 #include "sim/thread_pool.h"
 
@@ -317,7 +318,11 @@ SweepRunner::cellKey(const SweepCell &cell)
     key << "|cpus=" << o.numCpus << "|tpc=" << o.threadsPerCpu
         << "|seed=" << o.seed << "|tx=" << o.txPerThread
         << "|bloomBits=" << o.bloomBits
-        << "|interval=" << o.smallTxInterval;
+        << "|interval=" << o.smallTxInterval
+        // Effective audit mode: results are byte-identical either
+        // way, but a warm cache must never silently satisfy a
+        // checked run without executing the checks.
+        << "|audit=" << (o.audit || sim::auditEnvEnabled() ? 1 : 0);
     appendTuning(key, o.tuning);
     key << "|git=" << sim::buildGitDescribe();
     return key.str();

@@ -1,0 +1,63 @@
+#include "audit.h"
+
+#include <cstdlib>
+
+#include "sim/logging.h"
+#include "sim/trace.h"
+
+namespace sim {
+
+bool
+AuditEngine::fired(const std::string &check) const
+{
+    for (const AuditViolation &violation : log_) {
+        if (violation.check == check)
+            return true;
+    }
+    return false;
+}
+
+void
+AuditEngine::report(AuditViolation violation)
+{
+    ++violationCount_;
+    if (sink_ != nullptr) {
+        TraceRecord record;
+        record.tick = violation.tick;
+        record.cpu = violation.cpu;
+        record.thread = violation.thread;
+        record.sTx = violation.sTx;
+        record.dTx = violation.dTx;
+        record.category = TraceCategory::Audit;
+        record.event = "violation";
+        record.details.emplace_back("check", violation.check);
+        record.details.emplace_back("msg", violation.message);
+        sink_->emit(record);
+    }
+    if (mode_ == Mode::Panic) {
+        sim_panic("audit violation [%s] at tick %llu "
+                  "(cpu=%d thread=%d sTx=%lld dTx=%lld): %s",
+                  violation.check.c_str(),
+                  static_cast<unsigned long long>(violation.tick),
+                  violation.cpu, violation.thread,
+                  static_cast<long long>(violation.sTx),
+                  static_cast<long long>(violation.dTx),
+                  violation.message.c_str());
+    }
+    log_.push_back(std::move(violation));
+}
+
+bool
+auditEnvEnabled()
+{
+    // lint:allow(wall-clock): getenv is read once at startup to
+    // *enable* checking; the value never feeds simulated behavior
+    // (audited runs are asserted byte-identical to unaudited ones).
+    static const bool enabled = [] {
+        const char *env = std::getenv("BFGTS_AUDIT");
+        return env != nullptr && env[0] == '1';
+    }();
+    return enabled;
+}
+
+} // namespace sim

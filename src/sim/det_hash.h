@@ -36,7 +36,7 @@ namespace detail {
 inline std::uint64_t
 initialHashSeed()
 {
-    // lint:allow(banned-random): getenv is read once at startup to
+    // lint:allow(wall-clock): getenv is read once at startup to
     // *select* the hash seed; the value itself never feeds simulated
     // behavior (results are asserted identical across seeds).
     const char *env = std::getenv("BFGTS_HASH_SEED");

@@ -1,5 +1,6 @@
 #include "event_queue.h"
 
+#include "sim/audit.h"
 #include "sim/logging.h"
 
 namespace sim {
@@ -7,7 +8,17 @@ namespace sim {
 EventId
 EventQueue::schedule(Tick when, EventFn fn)
 {
-    sim_assert(when >= curTick_);
+    if (audit_ != nullptr && audit_->shouldCheck()) {
+        // Under audit the past-scheduling invariant reports through
+        // the engine (so the mutation selftest can observe it in
+        // Collect mode) and clamps to now, keeping time monotonic.
+        if (!audit_->check(when >= curTick_, "event.monotonic",
+                           "event scheduled in the past", curTick_)) {
+            when = curTick_;
+        }
+    } else {
+        sim_assert(when >= curTick_);
+    }
     EventId id = nextId_++;
     heap_.push(Entry{when, nextSeq_++, id, std::move(fn)});
     ++live_;
@@ -46,6 +57,21 @@ EventQueue::run(Tick max_tick, std::uint64_t max_events)
         Entry entry = std::move(const_cast<Entry &>(top));
         heap_.pop();
         --live_;
+        if (audit_ != nullptr && audit_->shouldCheck()) {
+            // Deterministic order: executed events must be strictly
+            // increasing in (tick, insertion seq); equal-tick events
+            // fire in the order they were scheduled.
+            const bool ordered =
+                !anyExecuted_ || entry.when > lastExecWhen_
+                || (entry.when == lastExecWhen_
+                    && entry.seq > lastExecSeq_);
+            audit_->check(ordered, "event.tiebreak",
+                          "event executed out of (tick, seq) order",
+                          entry.when);
+            lastExecWhen_ = entry.when;
+            lastExecSeq_ = entry.seq;
+            anyExecuted_ = true;
+        }
         curTick_ = entry.when;
         entry.fn();
         if (++executed > max_events) {

@@ -21,6 +21,8 @@
 
 namespace sim {
 
+class AuditEngine;
+
 /** Callback type for scheduled events. */
 using EventFn = std::function<void()>;
 
@@ -89,6 +91,23 @@ class EventQueue
     /** Safety bound: panic if a run exceeds this many events. */
     static constexpr std::uint64_t kDefaultMaxEvents = 50'000'000'000ULL;
 
+    /**
+     * Attach the invariant auditor (borrowed, may be null). When
+     * checking is active, schedule() reports past-scheduling through
+     * the engine ("event.monotonic") instead of asserting, and run()
+     * verifies the executed (tick, seq) order is strictly increasing
+     * ("event.tiebreak").
+     */
+    void setAudit(AuditEngine *audit) { audit_ = audit; }
+
+    /**
+     * Test hook for the audit mutation selftest: rewind the insertion
+     * sequence counter so a later-scheduled same-tick event executes
+     * out of insertion order, which the tie-break check must catch.
+     * Never call outside tests.
+     */
+    void testSetNextSeq(std::uint64_t seq) { nextSeq_ = seq; }
+
   private:
     struct Entry {
         Tick when;
@@ -111,6 +130,11 @@ class EventQueue
     std::uint64_t nextSeq_ = 0;
     EventId nextId_ = 1;
     std::size_t live_ = 0;
+    AuditEngine *audit_ = nullptr;
+    /** Last executed (tick, seq), for the tie-break order check. */
+    Tick lastExecWhen_ = 0;
+    std::uint64_t lastExecSeq_ = 0;
+    bool anyExecuted_ = false;
     std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
     sim::HashSet<EventId> cancelled_;
 };

@@ -19,6 +19,8 @@ traceCategoryName(TraceCategory category)
         return "predictor";
       case TraceCategory::Mem:
         return "mem";
+      case TraceCategory::Audit:
+        return "audit";
     }
     sim_panic("unhandled TraceCategory %u",
               static_cast<unsigned>(category));

@@ -16,6 +16,7 @@
  *  - cm:        contention-manager arbitration (conflicts)
  *  - predictor: begin-time conflict predictions
  *  - mem:       memory/versioning events (undo-log rollback)
+ *  - audit:     invariant-audit violations (sim/audit.h)
  *
  * Tracing is observational only: sinks add no simulated cost, and a
  * filtered-out record costs one mask test.
@@ -41,10 +42,11 @@ enum class TraceCategory : unsigned {
     Cm,
     Predictor,
     Mem,
+    Audit,
 };
 
 /** Number of trace categories (mask width). */
-constexpr unsigned kNumTraceCategories = 5;
+constexpr unsigned kNumTraceCategories = 6;
 
 /** Short lowercase category name ("tx", "sched", ...). */
 const char *traceCategoryName(TraceCategory category);

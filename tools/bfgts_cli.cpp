@@ -18,6 +18,10 @@
  *   --bloom-bits N    BFGTS Bloom filter size
  *   --interval N      BFGTS small-tx similarity update interval
  *   --slots N         BFGTS confidence-table aliasing slots (0 = exact)
+ *   --audit           checked simulation mode: run the invariant audit
+ *                     engine (docs/static-analysis.md); results stay
+ *                     byte-identical, violations abort with a report.
+ *                     BFGTS_AUDIT=1 in the environment does the same.
  *   --baseline        also run the single-core baseline and print speedup
  *   --stats           dump per-component statistics after the run
  *   --json FILE       write the full machine-readable report
@@ -25,7 +29,7 @@
  *   --trace FILE      write a lifecycle trace (text; "-" = stderr)
  *   --trace-jsonl     render the trace as JSON Lines instead of text
  *   --trace-cats LIST comma-separated trace categories
- *                     (tx,sched,cm,predictor,mem; default all)
+ *                     (tx,sched,cm,predictor,mem,audit; default all)
  *   --trace-chrome F  write a Chrome trace_event timeline (open in
  *                     Perfetto / chrome://tracing); composes with
  *                     --trace via a fanout sink
@@ -110,9 +114,10 @@ usage(const char *argv0)
                  "usage: %s [--workload NAME] [--cm NAME] [--cpus N] "
                  "[--tpc N] [--tx N]\n          [--seed N] "
                  "[--bloom-bits N] [--interval N] [--slots N]\n"
-                 "          [--baseline] [--stats] [--json FILE]\n"
+                 "          [--audit] [--baseline] [--stats] "
+                 "[--json FILE]\n"
                  "          [--trace FILE] [--trace-jsonl] "
-                 "[--trace-cats tx,sched,cm,predictor,mem]\n"
+                 "[--trace-cats tx,sched,cm,predictor,mem,audit]\n"
                  "          [--trace-chrome FILE] [--ts FILE] "
                  "[--ts-interval N] [--conflict-dot FILE]\n"
                  "          [--list]\n"
@@ -491,6 +496,8 @@ main(int argc, char **argv)
             config.tuning.bfgts.smallTxInterval = std::atoi(next());
         } else if (arg == "--slots") {
             config.tuning.bfgts.confTableSlots = std::atoi(next());
+        } else if (arg == "--audit") {
+            config.audit = true;
         } else if (arg == "--baseline") {
             with_baseline = true;
         } else if (arg == "--stats") {
@@ -539,6 +546,7 @@ main(int argc, char **argv)
         base.seed = config.seed;
         base.txPerThread = config.txPerThreadOverride;
         base.tuning = config.tuning;
+        base.audit = config.audit;
         return runSweep(sweep_workloads, sweep_cms, sweep_seeds, base,
                         sweep_baselines, sweep_jobs, sweep_cache,
                         json_path, argv[0]);

@@ -14,15 +14,36 @@ code patterns that most often break that property in C++ codebases:
                         or statistic derived from it is
                         irreproducible.
 
-  banned-random         Uses of ambient nondeterminism: rand(),
-                        srand(), std::random_device, time(),
-                        std::chrono::*_clock::now(), std::mt19937 /
-                        std::default_random_engine construction, and
-                        getenv() -- anywhere under src/ except
-                        src/sim/random.h and src/sim/det_hash.h, the
-                        sanctioned homes of seeding policy. All
-                        simulated randomness must flow through
-                        sim::Rng.
+  banned-random         Uses of ambient entropy: rand(), srand(),
+                        std::random_device, std::mt19937 /
+                        std::default_random_engine construction --
+                        anywhere under src/ except src/sim/random.h
+                        and src/sim/det_hash.h, the sanctioned homes
+                        of seeding policy. All simulated randomness
+                        must flow through sim::Rng.
+
+  wall-clock            Reads of wall-clock time or the process
+                        environment: time(), clock(),
+                        std::chrono::*_clock::now(),
+                        std::chrono::system_clock, localtime()/
+                        gmtime(), gettimeofday(), clock_gettime(),
+                        and getenv(). Simulated time is the event
+                        queue's tick and configuration arrives
+                        through SimConfig; host time or env reads in
+                        model code make runs irreproducible. The only
+                        exemptions are the sanctioned read-once env
+                        shims (src/sim/det_hash.h for BFGTS_HASH_SEED,
+                        src/sim/audit.cpp for BFGTS_AUDIT) and
+                        src/sim/random.h.
+
+  unordered-float-accumulation
+                        Floating-point accumulation (+=, -=, *=, /=
+                        into a float/double) inside a range-for over
+                        an unordered container. FP addition is not
+                        associative, so even a "commutative" sum
+                        changes with iteration order; integer sums
+                        are safe, float sums are not. Iterate a
+                        sorted copy or accumulate integers instead.
 
   pointer-keyed-ordered Ordered containers keyed by pointers
                         (std::set<T*>, std::map<T*, ...>): address
@@ -66,6 +87,10 @@ SIM_AFFECTING_DIRS = ("sim", "cm", "htm", "runner", "os", "cpu")
 # Files allowed to define randomness/seeding policy.
 RANDOM_POLICY_FILES = ("sim/random.h", "sim/det_hash.h")
 
+# Files allowed to read the environment (read-once startup shims).
+WALL_CLOCK_POLICY_FILES = ("sim/random.h", "sim/det_hash.h",
+                           "sim/audit.cpp")
+
 UNORDERED_TYPES = (
     "std::unordered_set",
     "std::unordered_map",
@@ -79,13 +104,24 @@ BANNED_RANDOM = [
     (re.compile(r"(?<![\w:])s?rand\s*\("), "rand()/srand()"),
     (re.compile(r"std::random_device|(?<![\w:])random_device\s"),
      "std::random_device"),
-    (re.compile(r"(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0|\))"),
-     "time()"),
-    (re.compile(r"\b\w*_clock::now\s*\("),
-     "std::chrono::*_clock::now()"),
     (re.compile(r"std::mt19937|(?<![\w:])mt19937(?:_64)?\s*[({ ]"),
      "std::mt19937"),
     (re.compile(r"default_random_engine"), "std::default_random_engine"),
+]
+
+WALL_CLOCK = [
+    (re.compile(r"(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0|\))"),
+     "time()"),
+    (re.compile(r"(?<![\w:.])clock\s*\(\s*\)"), "clock()"),
+    (re.compile(r"\b\w*_clock::now\s*\("),
+     "std::chrono::*_clock::now()"),
+    (re.compile(r"\bsystem_clock\b(?!\s*::\s*now)"),
+     "std::chrono::system_clock"),
+    (re.compile(r"(?<![\w:])(?:std::)?(?:localtime|gmtime)(?:_r|_s)?"
+                r"\s*\("),
+     "localtime()/gmtime()"),
+    (re.compile(r"(?<![\w:])(?:gettimeofday|clock_gettime)\s*\("),
+     "gettimeofday()/clock_gettime()"),
     (re.compile(r"(?<![\w:])(?:std::)?getenv\s*\("), "getenv()"),
 ]
 
@@ -116,8 +152,9 @@ RAW_OUTPUT = [
 
 ALLOW_RE = re.compile(r"lint:allow\(([\w-]+)\)(:?)\s*(\S?)")
 
-KNOWN_RULES = ("unordered-iteration", "banned-random",
-               "pointer-keyed-ordered", "raw-output")
+KNOWN_RULES = ("unordered-iteration", "banned-random", "wall-clock",
+               "unordered-float-accumulation", "pointer-keyed-ordered",
+               "raw-output")
 
 IDENT = r"[A-Za-z_]\w*"
 
@@ -306,6 +343,94 @@ def find_banned_random(path, stripped):
     return findings
 
 
+def find_wall_clock(path, stripped):
+    findings = []
+    for pattern, label in WALL_CLOCK:
+        for match in pattern.finditer(stripped):
+            findings.append(Finding(
+                path, line_of(stripped, match.start()), "wall-clock",
+                "%s reads host time or the environment; use the event "
+                "queue's tick for time and SimConfig for "
+                "configuration" % label))
+    return findings
+
+
+def match_braces(text, start):
+    """Given text[start] == '{', return index one past matching '}'."""
+    depth = 0
+    i = start
+    n = len(text)
+    while i < n:
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return -1
+
+
+FLOAT_DECL = re.compile(
+    r"\b(?:double|float)\s+(" + IDENT + r")\s*[=;,)]")
+
+FLOAT_ACCUM = re.compile(r"(" + IDENT + r")\s*[+\-*/]=")
+
+
+def collect_float_names(stripped):
+    """Names of variables/members declared float or double."""
+    return {m.group(1) for m in FLOAT_DECL.finditer(stripped)}
+
+
+def find_unordered_float_accumulation(path, stripped, local_names,
+                                      shared_names, float_names):
+    """Float accumulation inside a range-for over an unordered
+    container: the sum's value depends on iteration order because FP
+    addition is not associative."""
+    findings = []
+    for match in re.finditer(r"\bfor\s*\(", stripped):
+        open_idx = match.end() - 1
+        close = match_parens(stripped, open_idx)
+        if close < 0:
+            continue
+        head = stripped[open_idx + 1:close - 1]
+        parts = re.split(r"(?<!:):(?!:)", head)
+        if len(parts) != 2:
+            continue
+        if not is_unordered_ref(parts[1], local_names, shared_names):
+            continue
+        # Loop body: a brace block or a single statement.
+        body_start = close
+        while body_start < len(stripped) \
+                and stripped[body_start].isspace():
+            body_start += 1
+        if body_start >= len(stripped):
+            continue
+        if stripped[body_start] == "{":
+            body_end = match_braces(stripped, body_start)
+            if body_end < 0:
+                continue
+        else:
+            body_end = stripped.find(";", body_start)
+            if body_end < 0:
+                continue
+        body = stripped[body_start:body_end]
+        for accum in FLOAT_ACCUM.finditer(body):
+            if accum.group(1) in float_names:
+                # Reported at the loop head so one suppression
+                # comment can cover the loop, as with
+                # unordered-iteration.
+                findings.append(Finding(
+                    path, line_of(stripped, match.start()),
+                    "unordered-float-accumulation",
+                    "float accumulation into '%s' over an unordered "
+                    "container; FP addition is not associative, so "
+                    "the result depends on iteration order"
+                    % accum.group(1)))
+                break
+    return findings
+
+
 def find_raw_output(path, stripped):
     findings = []
     for pattern, label in RAW_OUTPUT:
@@ -393,8 +518,19 @@ def lint_file(path, rel, src_root):
                     strip_comments_and_strings(handle.read()))
         findings += find_unordered_iteration(
             rel, stripped, local, lint_file.shared_unordered_names)
+        floats = collect_float_names(stripped)
+        if header:
+            with open(header, "r", encoding="utf-8",
+                      errors="replace") as handle:
+                floats |= collect_float_names(
+                    strip_comments_and_strings(handle.read()))
+        findings += find_unordered_float_accumulation(
+            rel, stripped, local, lint_file.shared_unordered_names,
+            floats)
     if rel.replace(os.sep, "/") not in RANDOM_POLICY_FILES:
         findings += find_banned_random(rel, stripped)
+    if rel.replace(os.sep, "/") not in WALL_CLOCK_POLICY_FILES:
+        findings += find_wall_clock(rel, stripped)
     if top_dir in RAW_OUTPUT_DIRS \
             and rel.replace(os.sep, "/") not in RAW_OUTPUT_FILES:
         findings += find_raw_output(rel, stripped)
@@ -440,9 +576,7 @@ def main(argv):
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule in ("unordered-iteration", "banned-random",
-                     "pointer-keyed-ordered", "raw-output",
-                     "bad-suppression"):
+        for rule in KNOWN_RULES + ("bad-suppression",):
             print(rule)
         return 0
 

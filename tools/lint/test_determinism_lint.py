@@ -25,18 +25,25 @@ EXPECTED = [
     ("cm/bad_iter.h", 36, "unordered-iteration"),
     ("cm/bad_iter.h", 44, "bad-suppression"),
     ("cm/bad_iter.h", 45, "unordered-iteration"),
+    ("cm/float_accum.h", 24, "unordered-float-accumulation"),
+    ("cm/float_accum.h", 35, "unordered-float-accumulation"),
     ("htm/ptr_key.h", 13, "pointer-keyed-ordered"),
     ("htm/ptr_key.h", 14, "pointer-keyed-ordered"),
     ("mem/raw_out.cpp", 11, "raw-output"),
     ("mem/raw_out.cpp", 12, "raw-output"),
     ("mem/raw_out.cpp", 13, "raw-output"),
     ("mem/raw_out.cpp", 14, "raw-output"),
-    ("runner/bad_random.cpp", 14, "banned-random"),
     ("runner/bad_random.cpp", 15, "banned-random"),
-    ("runner/bad_random.cpp", 17, "banned-random"),
-    ("runner/bad_random.cpp", 19, "banned-random"),
-    ("runner/bad_random.cpp", 22, "banned-random"),
-    ("runner/bad_random.cpp", 24, "banned-random"),
+    ("runner/bad_random.cpp", 16, "banned-random"),
+    ("runner/bad_random.cpp", 18, "wall-clock"),
+    ("runner/bad_random.cpp", 20, "wall-clock"),
+    ("runner/bad_random.cpp", 23, "banned-random"),
+    ("runner/bad_random.cpp", 25, "wall-clock"),
+    ("runner/wall_clock.cpp", 17, "wall-clock"),
+    ("runner/wall_clock.cpp", 18, "wall-clock"),
+    ("runner/wall_clock.cpp", 22, "wall-clock"),
+    ("runner/wall_clock.cpp", 25, "wall-clock"),
+    ("runner/wall_clock.cpp", 28, "wall-clock"),
 ]
 
 FINDING_RE = re.compile(r"^(.*?):(\d+): \[([\w-]+)\]")

@@ -1,0 +1,72 @@
+// Fixture: floating-point accumulation over unordered containers.
+// Expected findings: 2x unordered-float-accumulation, reported at
+// the loop heads of the "total +=" brace body and the
+// single-statement "scale *=". Integer accumulation over the same
+// containers, float accumulation over a vector, and the justified
+// suppression must NOT be flagged.
+
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct FloatAccum {
+    std::unordered_set<unsigned long> lines;
+    std::unordered_map<int, double> weights;
+    std::vector<double> ordered;
+
+    double
+    orderDependentSum() const
+    {
+        double total = 0.0;
+        // lint:allow(unordered-iteration): fixture isolates the
+        // float-accumulation rule from the iteration rule.
+        for (unsigned long line : lines) { // finding (loop head)
+            total += static_cast<double>(line);
+        }
+        return total;
+    }
+
+    double
+    orderDependentProduct() const
+    {
+        double scale = 1.0;
+        // lint:allow(unordered-iteration): same isolation as above.
+        for (const auto &entry : weights) // finding (loop head)
+            scale *= entry.second;
+        return scale;
+    }
+
+    std::size_t
+    integerSumIsFine() const
+    {
+        std::size_t count = 0;
+        // lint:allow(unordered-iteration): integer accumulation is
+        // commutative and associative; order cannot matter.
+        for (unsigned long line : lines)
+            count += line % 7;
+        return count;
+    }
+
+    double
+    orderedSumIsFine() const
+    {
+        double total = 0.0;
+        for (double value : ordered)
+            total += value;
+        return total;
+    }
+
+    double
+    suppressedSum() const
+    {
+        double total = 0.0;
+        // lint:allow(unordered-iteration): fixture needs the loop.
+        // lint:allow(unordered-float-accumulation): fixture for a
+        // justified suppression; pretend the values are exact
+        // powers of two.
+        for (unsigned long line : lines)
+            total += static_cast<double>(line);
+        return total;
+    }
+};

@@ -1,7 +1,8 @@
-// Fixture: every class of banned ambient randomness. Expected
-// findings: 6x banned-random (rand, random_device, time, clock::now,
-// mt19937, getenv). The srand call inside the string literal and the
-// "time (" in this comment must NOT be flagged.
+// Fixture: banned ambient entropy plus the wall-clock reads that
+// used to ride along with it. Expected findings: 3x banned-random
+// (rand, random_device, mt19937) and 3x wall-clock (time,
+// clock::now, getenv). The srand call inside the string literal and
+// the "time (" in this comment must NOT be flagged.
 
 #include <chrono>
 #include <cstdlib>

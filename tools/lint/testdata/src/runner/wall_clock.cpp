@@ -1,0 +1,35 @@
+// Fixture: every wall-clock/environment read the wall-clock rule
+// bans beyond the classics covered in bad_random.cpp. Expected
+// findings: 5x wall-clock (clock, system_clock typedef use,
+// localtime, gettimeofday, clock_gettime); the suppressed
+// clock_gettime at the end must NOT be flagged, and neither must the
+// user-defined my_clock() call.
+
+#include <chrono>
+#include <ctime>
+#include <sys/time.h>
+
+long my_clock();
+
+long
+hostTimeSoup()
+{
+    long x = static_cast<long>(clock()); // finding
+    using wall = std::chrono::system_clock; // finding
+    x += static_cast<long>(
+        wall::to_time_t(wall::time_point{}));
+    std::time_t stamp = 0;
+    std::tm *parts = std::localtime(&stamp); // finding
+    x += parts != nullptr ? parts->tm_sec : 0;
+    struct timeval tv {};
+    gettimeofday(&tv, nullptr); // finding
+    x += tv.tv_sec;
+    struct timespec ts {};
+    clock_gettime(CLOCK_MONOTONIC, &ts); // finding
+    x += ts.tv_sec;
+    // lint:allow(wall-clock): fixture for a justified suppression;
+    // pretend this is a sanctioned host-profiling shim.
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    x += my_clock(); // a user-defined function, not the libc clock()
+    return x;
+}

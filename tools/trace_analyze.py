@@ -39,7 +39,7 @@ import subprocess
 import sys
 import tempfile
 
-KNOWN_CATEGORIES = {"tx", "sched", "cm", "predictor", "mem"}
+KNOWN_CATEGORIES = {"tx", "sched", "cm", "predictor", "mem", "audit"}
 
 RECORD_KEYS = {"tick", "cpu", "thread", "sTx", "dTx", "cat", "event"}
 

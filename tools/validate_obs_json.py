@@ -1,10 +1,17 @@
 #!/usr/bin/env python3
 """Validate bfgts-obs-v1 JSON output (docs/observability.md).
 
+Every document is validated twice: first against the formal JSON
+Schema checked in under docs/schemas/ (bfgts-obs-v1, bfgts-ts-v1,
+bfgts-sweep-v1), then by the hand-written semantic checks below that
+a schema cannot express (fraction sums, cross-line window chaining,
+sorted top-N lists, balanced trace slices).
+
 Three modes:
 
   validate_obs_json.py FILE [FILE...]
-      Check existing documents against the schema.
+      Check existing documents (run, bench, or sweep kind) against
+      the schemas.
 
   validate_obs_json.py --cli PATH_TO_BFGTS_CLI
       Run the CLI twice under different BFGTS_HASH_SEED values,
@@ -12,13 +19,18 @@ Three modes:
       streams, Chrome timelines, and conflict DOT files, and
       schema-check everything (report members incl. timeseries and
       conflict edges, bfgts-ts-v1 stream shape, Chrome trace_event
-      shape with balanced begin/end slices per track).
+      shape with balanced begin/end slices per track). Also runs a
+      small --sweep matrix and schema-checks the bfgts-sweep-v1
+      report.
 
   validate_obs_json.py --bench PATH_TO_BENCH_BINARY
       Run the bench with BFGTS_QUICK=1 and --json and schema-check
       the emitted document.
 
-Exits non-zero on the first failure. Stdlib only.
+Exits non-zero on the first failure. Stdlib only: the JSON Schema
+subset the three schemas use (type/const/enum/required/properties/
+items/oneOf/$ref into $defs/bounds) is interpreted right here rather
+than depending on the jsonschema package.
 """
 
 import argparse
@@ -29,11 +41,14 @@ import sys
 import tempfile
 
 SCHEMA = "bfgts-obs-v1"
+SCHEMA_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "docs", "schemas")
 
 CLI_ARGS = ["--workload", "Intruder", "--cm", "BFGTS-HW", "--tx", "10"]
 
 TRACE_KEYS = {"tick", "cpu", "thread", "sTx", "dTx", "cat", "event"}
-TRACE_CATS = {"tx", "sched", "cm", "predictor", "mem"}
+TRACE_CATS = {"tx", "sched", "cm", "predictor", "mem", "audit"}
 BREAKDOWN_KEYS = {"nonTx", "kernel", "tx", "aborted", "sched", "idle"}
 
 TS_SCHEMA = "bfgts-ts-v1"
@@ -59,6 +74,108 @@ def fail(msg):
 def check(cond, msg):
     if not cond:
         fail(msg)
+
+
+# --------------------------------------------------------------------
+# Minimal JSON Schema interpreter (the subset docs/schemas/ uses).
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: (isinstance(v, (int, float))
+                         and not isinstance(v, bool)),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def _resolve_ref(ref, root):
+    check(ref.startswith("#/"), f"unsupported $ref {ref!r}")
+    node = root
+    for part in ref[2:].split("/"):
+        check(isinstance(node, dict) and part in node,
+              f"dangling $ref {ref!r}")
+        node = node[part]
+    return node
+
+
+def _schema_errors(value, schema, root, path):
+    """Return a list of 'path: problem' strings (empty = valid)."""
+    if "$ref" in schema:
+        return _schema_errors(value, _resolve_ref(schema["$ref"], root),
+                              root, path)
+    errors = []
+    if "const" in schema and value != schema["const"]:
+        return [f"{path}: is {value!r}, want {schema['const']!r}"]
+    if "enum" in schema and value not in schema["enum"]:
+        return [f"{path}: {value!r} not one of {schema['enum']!r}"]
+    if "type" in schema:
+        types = schema["type"]
+        if isinstance(types, str):
+            types = [types]
+        if not any(_TYPE_CHECKS[t](value) for t in types):
+            return [f"{path}: not of type {types!r}"]
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if "minimum" in schema and value < schema["minimum"]:
+            errors.append(f"{path}: {value} < minimum "
+                          f"{schema['minimum']}")
+        if "maximum" in schema and value > schema["maximum"]:
+            errors.append(f"{path}: {value} > maximum "
+                          f"{schema['maximum']}")
+    if isinstance(value, str) and "minLength" in schema:
+        if len(value) < schema["minLength"]:
+            errors.append(f"{path}: shorter than minLength "
+                          f"{schema['minLength']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", ()):
+            if key not in value:
+                errors.append(f"{path}: missing required '{key}'")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                errors.extend(_schema_errors(value[key], sub, root,
+                                             f"{path}.{key}"))
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            errors.append(f"{path}: fewer than {schema['minItems']} "
+                          "items")
+        if "maxItems" in schema and len(value) > schema["maxItems"]:
+            errors.append(f"{path}: more than {schema['maxItems']} "
+                          "items")
+        if "items" in schema:
+            for i, item in enumerate(value):
+                errors.extend(_schema_errors(item, schema["items"],
+                                             root, f"{path}[{i}]"))
+    if "oneOf" in schema:
+        branch_errors = [_schema_errors(value, branch, root, path)
+                         for branch in schema["oneOf"]]
+        matches = sum(1 for errs in branch_errors if not errs)
+        if matches != 1:
+            flat = "; ".join(errs[0] for errs in branch_errors if errs)
+            errors.append(f"{path}: matched {matches} oneOf branches "
+                          f"(want exactly 1): {flat}")
+    return errors
+
+
+_SCHEMA_CACHE = {}
+
+
+def validate_schema(value, schema_name, where):
+    """Validate against docs/schemas/<schema_name>.schema.json."""
+    if schema_name not in _SCHEMA_CACHE:
+        path = os.path.join(SCHEMA_DIR,
+                            schema_name + ".schema.json")
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                _SCHEMA_CACHE[schema_name] = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            fail(f"cannot load schema {path}: {exc}")
+    schema = _SCHEMA_CACHE[schema_name]
+    errors = _schema_errors(value, schema, schema, "$")
+    if errors:
+        listing = "\n  ".join(errors[:10])
+        fail(f"{where}: violates {schema_name} schema:\n  {listing}")
 
 
 def check_histogram(hist, where):
@@ -93,6 +210,7 @@ def check_envelope(doc, where):
 
 
 def check_run(doc, where):
+    validate_schema(doc, SCHEMA, where)
     check_envelope(doc, where)
     check(doc["kind"] == "run", f"{where}: kind is not 'run'")
     for key in ("config", "results", "stats", "predictor_quality",
@@ -176,6 +294,7 @@ def check_run(doc, where):
 
 
 def check_bench(doc, where):
+    validate_schema(doc, SCHEMA, where)
     check_envelope(doc, where)
     check(doc["kind"] == "bench", f"{where}: kind is not 'bench'")
     check("options" in doc, f"{where}: missing options")
@@ -186,6 +305,16 @@ def check_bench(doc, where):
         check(isinstance(row, dict), f"{where}: row {i} not an object")
         check(list(row.keys()) == keys,
               f"{where}: row {i} keys differ from row 0")
+
+
+def check_sweep(doc, where):
+    validate_schema(doc, "bfgts-sweep-v1", where)
+    check(doc["cellCount"] == len(doc["cells"]),
+          f"{where}: cellCount {doc['cellCount']} != "
+          f"{len(doc['cells'])} cells")
+    labels = [cell["label"] for cell in doc["cells"]]
+    check(len(labels) == len(set(labels)),
+          f"{where}: duplicate cell labels")
 
 
 def check_trace_jsonl(path):
@@ -211,6 +340,7 @@ def check_ts_jsonl(path):
         lines = fh.read().splitlines()
     check(lines, f"{path}: empty time series")
     header = json.loads(lines[0])
+    validate_schema(header, TS_SCHEMA, f"{path}:1")
     check(header.get("schema") == TS_SCHEMA,
           f"{path}: header schema is {header.get('schema')!r}")
     check(header.get("kind") == "header", f"{path}: bad header kind")
@@ -221,6 +351,7 @@ def check_ts_jsonl(path):
             window = json.loads(line)
         except json.JSONDecodeError as exc:
             fail(f"{path}:{i}: invalid JSON ({exc})")
+        validate_schema(window, TS_SCHEMA, f"{path}:{i}")
         missing = TS_WINDOW_KEYS - window.keys()
         check(not missing, f"{path}:{i}: lacks {sorted(missing)}")
         check(window["window"] == i - 2,
@@ -324,9 +455,17 @@ def mode_cli(cli, workdir):
     for kind in artifacts:
         check(outputs[0][kind] == outputs[1][kind],
               f"{kind} output differs across BFGTS_HASH_SEED values")
+
+    # A small sweep matrix exercises the third schema end to end.
+    sweep_path = os.path.join(workdir, "sweep.json")
+    run([cli, "--sweep", "--workloads", "Intruder",
+         "--cms", "BFGTS-HW,Backoff", "--tx", "10",
+         "--cpus", "4", "--tpc", "2", "--json", sweep_path])
+    check_sweep(load(sweep_path), sweep_path)
+
     print("validate_obs_json: cli OK (report, trace, time series, "
           "chrome timeline, and conflict DOT all byte-identical "
-          "across hash seeds)")
+          "across hash seeds; sweep report schema-valid)")
 
 
 def mode_bench(bench, workdir):
@@ -350,11 +489,14 @@ def main():
 
     for path in args.files:
         doc = load(path)
-        check_envelope(doc, path)
-        if doc["kind"] == "run":
-            check_run(doc, path)
+        if doc.get("kind") == "sweep":
+            check_sweep(doc, path)
         else:
-            check_bench(doc, path)
+            check_envelope(doc, path)
+            if doc["kind"] == "run":
+                check_run(doc, path)
+            else:
+                check_bench(doc, path)
         print(f"validate_obs_json: {path} OK")
 
     with tempfile.TemporaryDirectory() as workdir:
