@@ -22,6 +22,7 @@
 #include "runner/experiment.h"
 #include "runner/sweep.h"
 #include "sim/json.h"
+#include "sim/profiler.h"
 #include "sim/stats.h"
 #include "workloads/stamp.h"
 
@@ -224,6 +225,12 @@ class JsonReporter
         jw.beginObject("options");
         jw.kv("quick", quickMode());
         jw.endObject();
+        // Host-throughput summary of every simulation this process
+        // ran (sim::hostRunTotals). Wall-clock data: these two keys
+        // are nondeterministic by design and ignored by both
+        // tools/bench_compare.py (determinism gate) and the baseline
+        // diff; tools/perf_compare.py reads *only* them.
+        const sim::HostRunTotals host = sim::hostRunTotals();
         jw.beginArray("rows");
         for (const Row &row : rows_) {
             jw.beginObject();
@@ -233,6 +240,8 @@ class JsonReporter
                 else
                     jw.kv(cell.key, cell.str);
             }
+            jw.kv("wall_ns_per_cycle", host.wallNsPerCycle());
+            jw.kv("events_per_sec", host.eventsPerSec());
             jw.endObject();
         }
         jw.endArray();

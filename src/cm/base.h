@@ -33,6 +33,7 @@ class PredictorSystem;
 namespace sim {
 class AuditEngine;
 class EventQueue;
+class Profiler;
 }
 
 namespace cm {
@@ -47,6 +48,10 @@ struct Services {
     const sim::EventQueue *events = nullptr;
     /** Invariant auditor; null or disabled outside --audit runs. */
     sim::AuditEngine *audit = nullptr;
+    /** Host-performance profiler; null outside --profile runs. Only
+     *  wall-time/memory accounting may flow through it -- never model
+     *  state. */
+    sim::Profiler *profiler = nullptr;
 };
 
 /**

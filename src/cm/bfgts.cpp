@@ -7,6 +7,7 @@
 #include "sim/audit.h"
 #include "sim/event_queue.h"
 #include "sim/logging.h"
+#include "sim/profiler.h"
 
 namespace cm {
 
@@ -182,8 +183,11 @@ BfgtsManager::writeConfidence(htm::STxId row, htm::STxId col,
     // The main processor wrote a confidence entry; the predictors'
     // confidence caches snoop the invalidation (and refetch). The
     // physical (aliased) slot is what lives at the cached address.
-    if (usesHardware())
+    if (usesHardware()) {
+        sim::ScopedPhase prof_phase(services_.profiler,
+                                    sim::Profiler::kPredictor);
         services_.predictors->onConfidenceWrite(slot_row, slot_col);
+    }
 }
 
 void
@@ -257,8 +261,13 @@ BfgtsManager::onTxBegin(const TxInfo &tx)
         auto read_conf = [this](htm::STxId row, htm::STxId col) {
             return confidence(row, col);
         };
-        cpu::PredictResult result = services_.predictors->predict(
-            tx.cpu, tx.sTx, read_conf, config_.confThreshold);
+        cpu::PredictResult result;
+        {
+            sim::ScopedPhase prof_phase(services_.profiler,
+                                        sim::Profiler::kPredictor);
+            result = services_.predictors->predict(
+                tx.cpu, tx.sTx, read_conf, config_.confThreshold);
+        }
         decision.cost.sched += result.latency;
         if (result.conflictPredicted)
             return suspend(tx, result.waitOn, decision.cost);
@@ -290,8 +299,11 @@ void
 BfgtsManager::onTxStart(const TxInfo &tx)
 {
     trackStart(tx);
-    if (usesHardware())
+    if (usesHardware()) {
+        sim::ScopedPhase prof_phase(services_.profiler,
+                                    sim::Profiler::kPredictor);
         services_.predictors->broadcastBegin(tx.cpu, tx.dTx);
+    }
 }
 
 CmCost
@@ -321,8 +333,11 @@ AbortResponse
 BfgtsManager::onTxAbort(const TxInfo &tx, const TxInfo &other)
 {
     trackEnd(tx, false);
-    if (usesHardware())
+    if (usesHardware()) {
+        sim::ScopedPhase prof_phase(services_.profiler,
+                                    sim::Profiler::kPredictor);
         services_.predictors->broadcastEnd(tx.cpu);
+    }
 
     (void)other;
     AbortResponse resp;
@@ -338,6 +353,27 @@ BfgtsManager::onTxAbort(const TxInfo &tx, const TxInfo &other)
     resp.backoff = services_.rng->below(
         std::max<sim::Cycles>(1, config_.abortBackoff * 2));
     return resp;
+}
+
+void
+BfgtsManager::profileMemory(sim::Profiler &profiler) const
+{
+    profiler.recordBytes(sim::Profiler::kConfidenceTables,
+                         (conf_.size() + pressure_.size())
+                             * sizeof(double));
+    // Live signatures, approximated from the configured geometry
+    // (perfect signatures in the NoOverhead variant are costed the
+    // same way; the gauge tracks growth, not exact heap bytes).
+    const std::uint64_t per_signature =
+        sizeof(bloom::BloomSignature)
+        + static_cast<std::uint64_t>(config_.bloom.numBits) / 8;
+    std::uint64_t signature_bytes = 0;
+    for (const DtxStats &stats : stats_) {
+        if (stats.lastBloom)
+            signature_bytes += per_signature;
+    }
+    profiler.recordBytes(sim::Profiler::kBloomSignatures,
+                         signature_bytes);
 }
 
 void
@@ -439,8 +475,11 @@ BfgtsManager::onTxCommit(const TxInfo &tx,
                          const std::vector<mem::Addr> &rw_lines)
 {
     trackEnd(tx, true);
-    if (usesHardware())
+    if (usesHardware()) {
+        sim::ScopedPhase prof_phase(services_.profiler,
+                                    sim::Profiler::kPredictor);
         services_.predictors->broadcastEnd(tx.cpu);
+    }
 
     CmCost cost;
     cost.sched = noOverhead() ? 1 : config_.commitBase;
@@ -483,6 +522,12 @@ BfgtsManager::onTxCommit(const TxInfo &tx,
             skippedSimUpdates_.inc();
         return cost;
     }
+
+    // Everything from here on is Bloom signature machinery: build,
+    // similarity estimate, serialization check. Self-time phase
+    // nesting keeps it disjoint from the enclosing cm_commit bucket.
+    sim::ScopedPhase prof_phase(services_.profiler,
+                                sim::Profiler::kBloom);
 
     // readCPUBloomFilter(): encode the just-committed read/write set.
     std::unique_ptr<bloom::Signature> n_bloom = makeSignature();

@@ -231,6 +231,12 @@ class BfgtsManager : public ContentionManagerBase
      */
     void auditCheck(sim::AuditEngine &audit, sim::Tick tick) const;
 
+    /** Host-profiler byte gauges: confidence/pressure tables plus
+     *  the live per-dTxID Bloom signatures (ROADMAP item 2 says both
+     *  explode with sTxID^2 and thread count; this makes the growth
+     *  visible). */
+    void profileMemory(sim::Profiler &profiler) const override;
+
     // ---- audit mutation-selftest hooks. Never call outside tests.
     /** Corrupt a confidence entry, bypassing the saturating clamp. */
     void

@@ -25,6 +25,10 @@
 #include "mem/addr.h"
 #include "sim/types.h"
 
+namespace sim {
+class Profiler;
+}
+
 namespace cm {
 
 /** Cycle cost of a CM hook, split by accounting bucket. */
@@ -183,6 +187,17 @@ class ContentionManager
     virtual CmCost onTxCommit(const TxInfo &tx,
                               const std::vector<mem::Addr> &rw_lines)
         = 0;
+
+    /**
+     * Report this manager's per-structure memory footprint (byte
+     * high-water gauges) into the host profiler at the end of a
+     * profiled run. Observational only; the default reports nothing.
+     */
+    virtual void
+    profileMemory(sim::Profiler &profiler) const
+    {
+        (void)profiler;
+    }
 };
 
 } // namespace cm

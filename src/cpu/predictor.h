@@ -149,6 +149,20 @@ class PredictorSystem
     /** Confidence cache of @p cpu (stats/tests). */
     const mem::Cache &confCache(sim::CpuId cpu) const;
 
+    /** Modeled bytes held per CPU (CPU Table entries plus the
+     *  confidence-cache capacity); host-profiler memory gauge. Grows
+     *  linearly with CPUs -- the ROADMAP item-2 scaling hazard. */
+    std::uint64_t
+    memoryFootprintBytes() const
+    {
+        std::uint64_t bytes = 0;
+        for (const Unit &unit : units_) {
+            bytes += unit.cpuTable.size() * sizeof(htm::DTxId);
+            bytes += config_.confCache.sizeBytes;
+        }
+        return bytes;
+    }
+
     const sim::Counter &predictions() const { return predictions_; }
     const sim::Counter &conflictsPredicted() const
     {

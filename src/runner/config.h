@@ -27,6 +27,7 @@
 #include "workloads/workload.h"
 
 namespace sim {
+class Profiler;
 class Sampler;
 }
 
@@ -116,6 +117,19 @@ struct SimConfig {
      * summary after run().
      */
     sim::Sampler *sampler = nullptr;
+
+    /**
+     * Host-performance profiler (docs/observability.md). When set,
+     * run() brackets the event loop with host-clock stamps, the
+     * instrumented subsystems charge their wall time to self-time
+     * phases, and memory high-water gauges are sampled at the end of
+     * the run. Observational only: wall-clock data never feeds model
+     * state, so a profiled run produces byte-identical deterministic
+     * reports; the measurements leave through the separate
+     * nondeterministic `bfgts-prof-v1` document. The caller owns the
+     * profiler and reads/serializes it after run().
+     */
+    sim::Profiler *profiler = nullptr;
 
     /**
      * Checked simulation mode (docs/static-analysis.md): run every

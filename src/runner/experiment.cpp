@@ -29,15 +29,18 @@ makeConfig(const std::string &workload, cm::CmKind kind,
 
 SimResults
 runStamp(const std::string &workload, cm::CmKind kind,
-         const RunOptions &options)
+         const RunOptions &options, sim::Profiler *profiler)
 {
-    Simulation simulation(makeConfig(workload, kind, options));
+    SimConfig config = makeConfig(workload, kind, options);
+    config.profiler = profiler;
+    Simulation simulation(config);
     return simulation.run();
 }
 
 SimResults
 runSingleCoreBaseline(const std::string &workload,
-                      const RunOptions &options)
+                      const RunOptions &options,
+                      sim::Profiler *profiler)
 {
     RunOptions single = options;
     single.numCpus = 1;
@@ -50,7 +53,7 @@ runSingleCoreBaseline(const std::string &workload,
             : workloads::makeStampWorkload(workload, 1)->txPerThread();
     single.txPerThread =
         per_thread * options.numCpus * options.threadsPerCpu;
-    return runStamp(workload, cm::CmKind::Backoff, single);
+    return runStamp(workload, cm::CmKind::Backoff, single, profiler);
 }
 
 double

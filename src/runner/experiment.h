@@ -46,9 +46,17 @@ struct RunOptions {
 SimConfig makeConfig(const std::string &workload, cm::CmKind kind,
                      const RunOptions &options = {});
 
-/** Run one (benchmark, manager) cell. */
+/**
+ * Run one (benchmark, manager) cell.
+ *
+ * @p profiler optionally attaches the host-performance profiler to
+ * the run (SimConfig::profiler). It is deliberately NOT a RunOptions
+ * knob: RunOptions feeds the sweep cache key, and profiling must
+ * never perturb cache identity or results.
+ */
 SimResults runStamp(const std::string &workload, cm::CmKind kind,
-                    const RunOptions &options = {});
+                    const RunOptions &options = {},
+                    sim::Profiler *profiler = nullptr);
 
 /**
  * Run the single-core baseline: one CPU, one thread, Backoff, the
@@ -56,7 +64,8 @@ SimResults runStamp(const std::string &workload, cm::CmKind kind,
  * @p options.
  */
 SimResults runSingleCoreBaseline(const std::string &workload,
-                                 const RunOptions &options = {});
+                                 const RunOptions &options = {},
+                                 sim::Profiler *profiler = nullptr);
 
 /** Fig. 4a metric: baseline runtime / parallel runtime. */
 double speedupOverOneCore(const SimResults &parallel,

@@ -4,8 +4,10 @@
 
 #include "cm/ats.h"
 #include "cm/bfgts.h"
+#include "sim/host_clock.h"
 #include "sim/json.h"
 #include "sim/logging.h"
+#include "sim/profiler.h"
 #include "sim/sampler.h"
 #include "workloads/stamp.h"
 
@@ -57,11 +59,14 @@ Simulation::Simulation(const SimConfig &config)
             std::make_unique<LifecycleAuditor>(*audit_, num_threads);
     }
 
+    events_.setProfiler(config_.profiler);
+
     cm::Services services;
     services.scheduler = sched_.get();
     services.rng = &rng_;
     services.events = &events_;
     services.audit = audit_;
+    services.profiler = config_.profiler;
     if (config_.cm == cm::CmKind::BfgtsHw
         || config_.cm == cm::CmKind::BfgtsHwBackoff) {
         services.predictors = predictors_.get();
@@ -213,16 +218,22 @@ Simulation::step(Worker &worker)
           case Phase::BeginStall:
             cont = doBeginStall(worker);
             break;
-          case Phase::YieldNow:
+          case Phase::YieldNow: {
             worker.phase = Phase::TxBegin;
+            sim::ScopedPhase prof_phase(config_.profiler,
+                                        sim::Profiler::kOsSched);
             sched_->yieldCurrent(worker.tid);
             cont = false;
             break;
-          case Phase::BlockNow:
+          }
+          case Phase::BlockNow: {
             worker.phase = Phase::TxBegin;
+            sim::ScopedPhase prof_phase(config_.profiler,
+                                        sim::Profiler::kOsSched);
             sched_->blockCurrent(worker.tid);
             cont = false;
             break;
+          }
           case Phase::TxAccess:
             cont = doTxAccess(worker);
             break;
@@ -249,14 +260,22 @@ Simulation::doStartDescriptor(Worker &worker)
             auditLifecycle(worker,
                            LifecycleAuditor::TxEvent::ThreadFinish);
         }
+        sim::ScopedPhase prof_phase(config_.profiler,
+                                    sim::Profiler::kOsSched);
         sched_->finishCurrent(worker.tid);
         return false;
     }
     if (sched_->shouldPreempt(worker.tid)) {
+        sim::ScopedPhase prof_phase(config_.profiler,
+                                    sim::Profiler::kOsSched);
         sched_->preemptCurrent(worker.tid);
         return false;
     }
-    worker.desc = workload_->next(worker.tid, worker.rng);
+    {
+        sim::ScopedPhase prof_phase(config_.profiler,
+                                    sim::Profiler::kWorkload);
+        worker.desc = workload_->next(worker.tid, worker.rng);
+    }
     worker.tx.dTxId = ids_->make(worker.tid, worker.desc.sTx);
     worker.tx.thread = worker.tid;
     worker.tx.cpu = sched_->thread(worker.tid).cpu;
@@ -277,6 +296,8 @@ Simulation::doNonTxWork(Worker &worker)
         return true;
     }
     if (sched_->shouldPreempt(worker.tid)) {
+        sim::ScopedPhase prof_phase(config_.profiler,
+                                    sim::Profiler::kOsSched);
         sched_->preemptCurrent(worker.tid);
         return false;
     }
@@ -291,7 +312,12 @@ bool
 Simulation::doTxBegin(Worker &worker)
 {
     const cm::TxInfo info = infoFor(worker);
-    const cm::BeginDecision decision = cm_->onTxBegin(info);
+    cm::BeginDecision decision;
+    {
+        sim::ScopedPhase prof_phase(config_.profiler,
+                                    sim::Profiler::kCmDecide);
+        decision = cm_->onTxBegin(info);
+    }
     const std::vector<Charge> cost_charges{
         {decision.cost.sched, Bucket::Sched},
         {decision.cost.kernel, Bucket::Kernel}};
@@ -311,7 +337,11 @@ Simulation::doTxBegin(Worker &worker)
         worker.stallRetries = 0;
         worker.reportedEnemies.clear();
         runningTx_.insert(worker.tx.dTxId);
-        cm_->onTxStart(info);
+        {
+            sim::ScopedPhase prof_phase(config_.profiler,
+                                        sim::Profiler::kCmDecide);
+            cm_->onTxStart(info);
+        }
         if (auditing()) {
             auditLifecycle(worker, LifecycleAuditor::TxEvent::Begin);
             auditSweep();
@@ -402,6 +432,8 @@ Simulation::doBeginStall(Worker &worker)
         // The stall window closes with the CPU: timeline spans must
         // not show this thread spinning while another one runs here.
         trace(worker, sim::TraceCategory::Sched, "preempt");
+        sim::ScopedPhase prof_phase(config_.profiler,
+                                    sim::Profiler::kOsSched);
         sched_->preemptCurrent(worker.tid);
         return false;
     }
@@ -430,6 +462,9 @@ Simulation::doTxAccess(Worker &worker)
     // next advance so bucket totals match consumed CPU time.
     std::vector<Charge> notify_charges;
     if (result.resolution != htm::Resolution::Proceed) {
+        // Conflict arbitration + notification is CM decide-path work.
+        sim::ScopedPhase prof_phase(config_.profiler,
+                                    sim::Profiler::kCmDecide);
         // Reactive managers may arbitrate the conflict themselves
         // (Timestamp, Polka); the substrate's verdict stands unless
         // every holder's arbitration agrees on an override, with the
@@ -509,10 +544,14 @@ Simulation::doTxAccess(Worker &worker)
             worker.waitHolders.clear();
             auditLifecycle(worker, LifecycleAuditor::TxEvent::Access);
         }
-        sim::Cycles latency =
-            mem_->access(worker.tx.cpu, access.addr, access.write,
-                         events_.curTick())
-            + worker.desc.workPerAccess;
+        sim::Cycles latency;
+        {
+            sim::ScopedPhase prof_phase(config_.profiler,
+                                        sim::Profiler::kMem);
+            latency = mem_->access(worker.tx.cpu, access.addr,
+                                   access.write, events_.curTick());
+        }
+        latency += worker.desc.workPerAccess;
         // Eager versioning: first store to a line saves the old
         // value to the undo log.
         if (access.write)
@@ -644,8 +683,12 @@ Simulation::abortTx(Worker &worker, const cm::TxInfo &enemy)
               {{"cycles", std::to_string(rollback)}});
     }
 
-    const cm::AbortResponse resp =
-        cm_->onTxAbort(infoFor(worker), enemy);
+    cm::AbortResponse resp;
+    {
+        sim::ScopedPhase prof_phase(config_.profiler,
+                                    sim::Profiler::kCmCommit);
+        resp = cm_->onTxAbort(infoFor(worker), enemy);
+    }
     if (auditing())
         auditSweep();
 
@@ -700,7 +743,12 @@ Simulation::doCommitDone(Worker &worker)
     worker.committing = false;
     worker.waitHolders.clear();
 
-    const cm::CmCost cost = cm_->onTxCommit(infoFor(worker), rw_lines);
+    cm::CmCost cost;
+    {
+        sim::ScopedPhase prof_phase(config_.profiler,
+                                    sim::Profiler::kCmCommit);
+        cost = cm_->onTxCommit(infoFor(worker), rw_lines);
+    }
     if (auditing())
         auditSweep();
 
@@ -1113,8 +1161,22 @@ Simulation::run()
             [this] { return !sched_->allFinished(); });
     }
 
-    sched_->start();
-    events_.run();
+    // Host accounting brackets the whole run loop. The two clock
+    // reads per *run* are always on (they feed the process-global
+    // wall_ns_per_cycle / events_per_sec totals the bench reports
+    // stamp); per-phase attribution only happens under a profiler.
+    if (config_.profiler != nullptr)
+        config_.profiler->beginRun();
+    const std::uint64_t host_start = sim::hostNowNs();
+
+    {
+        sim::ScopedPhase prof_phase(config_.profiler,
+                                    sim::Profiler::kOsSched);
+        sched_->start();
+    }
+    const std::uint64_t executed = events_.run();
+
+    const std::uint64_t host_end = sim::hostNowNs();
 
     if (config_.sampler != nullptr)
         config_.sampler->finish(lastFinish_);
@@ -1122,6 +1184,18 @@ Simulation::run()
     if (!sched_->allFinished()) {
         sim_panic("simulation drained with %d/%d threads unfinished",
                   finishedThreads_, config_.numThreads());
+    }
+
+    sim::addHostRunSample(host_end > host_start
+                              ? host_end - host_start
+                              : 0,
+                          executed, lastFinish_);
+    if (config_.profiler != nullptr) {
+        config_.profiler->endRun(executed, lastFinish_);
+        cm_->profileMemory(*config_.profiler);
+        config_.profiler->recordBytes(
+            sim::Profiler::kPredictorCaches,
+            predictors_->memoryFootprintBytes());
     }
 
     SimResults results;

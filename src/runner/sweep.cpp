@@ -369,10 +369,19 @@ SweepRunner::runCell(std::size_t index)
                 ++stats_.cacheHits;
                 return;
             }
+            // One profiler per executed cell (never shared across
+            // workers); the Data snapshot is the cell's side channel.
+            sim::Profiler prof;
+            sim::Profiler *profiler =
+                options_.profile ? &prof : nullptr;
             out.results =
                 cell.baseline
-                    ? runSingleCoreBaseline(cell.workload, cell.options)
-                    : runStamp(cell.workload, cell.cm, cell.options);
+                    ? runSingleCoreBaseline(cell.workload,
+                                            cell.options, profiler)
+                    : runStamp(cell.workload, cell.cm, cell.options,
+                               profiler);
+            if (profiler != nullptr)
+                out.profile = prof.data();
             if (cached)
                 writeCache(key, index, out.results);
         }
@@ -511,6 +520,60 @@ SweepRunner::writeReport(std::ostream &os,
     }
     jw.endArray();
     jw.endObject();
+}
+
+void
+SweepRunner::writeProfileReport(std::ostream &os,
+                                const std::string &name) const
+{
+    std::vector<double> wall_ns_per_cycle;
+    std::vector<double> events_per_sec;
+    std::vector<double> wall_ns;
+    for (const SweepCellResult &result : results_) {
+        if (!result.profile.has_value())
+            continue;
+        wall_ns_per_cycle.push_back(result.profile->wallNsPerCycle());
+        events_per_sec.push_back(result.profile->eventsPerSec());
+        wall_ns.push_back(static_cast<double>(result.profile->wallNs));
+    }
+    const auto agg = [](sim::JsonWriter &jw, const char *key,
+                        const sim::MinMedMax &m) {
+        jw.beginObject(key);
+        jw.kv("min", m.min);
+        jw.kv("median", m.median);
+        jw.kv("max", m.max);
+        jw.endObject();
+    };
+
+    sim::JsonWriter jw(os);
+    jw.beginObject();
+    jw.kv("schema", "bfgts-prof-v1");
+    jw.kv("kind", "sweep");
+    jw.kv("name", name);
+    jw.kv("git", sim::buildGitDescribe());
+    jw.kv("cellCount", static_cast<std::uint64_t>(cells_.size()));
+    jw.kv("profiledCells",
+          static_cast<std::uint64_t>(wall_ns.size()));
+    jw.beginArray("cells");
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+        const SweepCellResult &result = results_[i];
+        if (!result.profile.has_value())
+            continue;
+        jw.beginObject();
+        jw.kv("label", cellLabel(cells_[i]));
+        jw.beginObject("run");
+        result.profile->writeJson(jw);
+        jw.endObject();
+        jw.endObject();
+    }
+    jw.endArray();
+    jw.beginObject("aggregate");
+    agg(jw, "wallNsPerCycle", sim::minMedianMax(wall_ns_per_cycle));
+    agg(jw, "eventsPerSec", sim::minMedianMax(events_per_sec));
+    agg(jw, "wallNs", sim::minMedianMax(wall_ns));
+    jw.endObject();
+    jw.endObject();
+    os << "\n";
 }
 
 } // namespace runner

@@ -28,11 +28,13 @@
 #include <functional>
 #include <iosfwd>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "runner/experiment.h"
 #include "runner/results.h"
+#include "sim/profiler.h"
 
 namespace runner {
 
@@ -68,6 +70,14 @@ struct SweepCellResult {
     std::string error;
     /** Valid when ok. */
     SimResults results;
+    /**
+     * Host-performance profile of the cell, present only when
+     * SweepOptions::profile was set AND the cell actually executed
+     * (cache hits and errors have nothing to measure). Wall-clock
+     * data, so inherently nondeterministic -- it flows only into
+     * writeProfileReport(), never into results or the cache.
+     */
+    std::optional<sim::Profiler::Data> profile;
 };
 
 /** Execution accounting for one run() (not part of the report);
@@ -89,6 +99,13 @@ struct SweepOptions {
     std::string cacheDir;
     /** Per-cell progress lines ("[ 3/42] ..."); null disables. */
     std::ostream *progress = nullptr;
+    /**
+     * Attach a host-performance profiler to every executed standard
+     * cell (--profile). Deliberately NOT part of cellKey(): profiling
+     * must never change cache identity, cached results stay valid and
+     * are still served (profile-less) on a warm cache.
+     */
+    bool profile = false;
 };
 
 /**
@@ -116,6 +133,16 @@ class SweepRunner
      * produce byte-identical reports regardless of how they ran.
      */
     void writeReport(std::ostream &os, const std::string &name) const;
+
+    /**
+     * Write the `bfgts-prof-v1` JSON report (kind "sweep") of the
+     * last run(): one row per profiled cell plus min/median/max
+     * aggregates of wallNsPerCycle, eventsPerSec and wallNs across
+     * them. Wall-clock data -- nondeterministic by design and kept
+     * out of writeReport() and the byte-identity gates.
+     */
+    void writeProfileReport(std::ostream &os,
+                            const std::string &name) const;
 
     /** Progress/report label of @p cell (default or explicit). */
     static std::string cellLabel(const SweepCell &cell);

@@ -2,6 +2,7 @@
 
 #include "sim/audit.h"
 #include "sim/logging.h"
+#include "sim/profiler.h"
 
 namespace sim {
 
@@ -20,7 +21,14 @@ EventQueue::schedule(Tick when, EventFn fn)
         sim_assert(when >= curTick_);
     }
     EventId id = nextId_++;
-    heap_.push(Entry{when, nextSeq_++, id, std::move(fn)});
+    if (profiler_ != nullptr) {
+        ScopedPhase phase(profiler_, Profiler::kEventQueue);
+        heap_.push(Entry{when, nextSeq_++, id, std::move(fn)});
+        profiler_->recordBytes(Profiler::kStructEventQueue,
+                               heap_.size() * sizeof(Entry));
+    } else {
+        heap_.push(Entry{when, nextSeq_++, id, std::move(fn)});
+    }
     ++live_;
     return id;
 }
@@ -44,14 +52,21 @@ EventQueue::run(Tick max_tick, std::uint64_t max_events)
 {
     std::uint64_t executed = 0;
     while (!heap_.empty()) {
+        if (profiler_ != nullptr)
+            profiler_->enter(Profiler::kEventQueue);
         const Entry &top = heap_.top();
         if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
             cancelled_.erase(it);
             heap_.pop();
+            if (profiler_ != nullptr)
+                profiler_->exit();
             continue;
         }
-        if (top.when > max_tick)
+        if (top.when > max_tick) {
+            if (profiler_ != nullptr)
+                profiler_->exit();
             break;
+        }
         // Move the callback out before popping so the entry can be
         // safely destroyed even if the callback schedules new events.
         Entry entry = std::move(const_cast<Entry &>(top));
@@ -73,7 +88,11 @@ EventQueue::run(Tick max_tick, std::uint64_t max_events)
             anyExecuted_ = true;
         }
         curTick_ = entry.when;
+        if (profiler_ != nullptr)
+            profiler_->exit();
         entry.fn();
+        if (profiler_ != nullptr)
+            profiler_->onEventExecuted(curTick_);
         if (++executed > max_events) {
             sim_panic("event queue executed more than %llu events; "
                       "likely a livelocked simulation",

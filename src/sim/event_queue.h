@@ -22,6 +22,7 @@
 namespace sim {
 
 class AuditEngine;
+class Profiler;
 
 /** Callback type for scheduled events. */
 using EventFn = std::function<void()>;
@@ -101,6 +102,15 @@ class EventQueue
     void setAudit(AuditEngine *audit) { audit_ = audit; }
 
     /**
+     * Attach the host-performance profiler (borrowed, may be null).
+     * When set, schedule() and run() charge heap work to the
+     * event-queue wall-time phase, track the heap's byte high-water,
+     * and report each executed event for Perfetto counter sampling.
+     * Purely observational: simulated behavior is unchanged.
+     */
+    void setProfiler(Profiler *profiler) { profiler_ = profiler; }
+
+    /**
      * Test hook for the audit mutation selftest: rewind the insertion
      * sequence counter so a later-scheduled same-tick event executes
      * out of insertion order, which the tie-break check must catch.
@@ -131,6 +141,7 @@ class EventQueue
     EventId nextId_ = 1;
     std::size_t live_ = 0;
     AuditEngine *audit_ = nullptr;
+    Profiler *profiler_ = nullptr;
     /** Last executed (tick, seq), for the tie-break order check. */
     Tick lastExecWhen_ = 0;
     std::uint64_t lastExecSeq_ = 0;

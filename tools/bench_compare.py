@@ -8,7 +8,10 @@ deterministic, so on an unchanged model the comparison is exact; the
 tolerance exists so intentional model tweaks elsewhere in the stack
 don't force a baseline refresh for sub-percent ripples.
 
-The ``git`` field is ignored (it differs across commits by design).
+The ``git`` field is ignored (it differs across commits by design),
+as are the host-throughput keys ``wall_ns_per_cycle`` and
+``events_per_sec`` (wall-clock data, nondeterministic by design;
+tools/perf_compare.py gates those with wide bands instead).
 String cells must match exactly. Row sets are matched positionally --
 the benches emit rows in a fixed deterministic order.
 
@@ -31,7 +34,10 @@ import subprocess
 import sys
 import tempfile
 
-IGNORED_KEYS = {"git"}
+# git differs across commits by design; the wall-clock throughput
+# keys (bench_util.h JsonReporter) are host-dependent by design and
+# gated separately -- with wide bands -- by tools/perf_compare.py.
+IGNORED_KEYS = {"git", "wall_ns_per_cycle", "events_per_sec"}
 
 
 def numbers_close(a, b, rel_tol, abs_tol=1e-9):

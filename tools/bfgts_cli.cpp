@@ -38,6 +38,14 @@
  *   --ts-interval N   sampling window in ticks (default 10000)
  *   --conflict-dot F  write the conflict graph as Graphviz DOT
  *                     (abort edges solid, serializations dashed)
+ *   --profile FILE    write the bfgts-prof-v1 host-performance
+ *                     profile (wall-time attribution per subsystem,
+ *                     events/sec, wall-ns-per-cycle, memory gauges;
+ *                     docs/observability.md). Wall-clock data, so the
+ *                     report is nondeterministic -- every *other*
+ *                     artifact stays byte-identical with or without
+ *                     it. With --trace-chrome, host phase totals also
+ *                     land as counter tracks on the timeline.
  *   --list            list workloads and managers, then exit
  *
  * Sweep mode (runner::SweepRunner; docs/architecture.md):
@@ -54,6 +62,11 @@
  *   --cache DIR       on-disk result cache (also BFGTS_SWEEP_CACHE)
  *   --baselines       add one single-core baseline cell per workload
  *   --json FILE       write the bfgts-sweep-v1 report
+ *   --profile FILE    write the bfgts-prof-v1 sweep profile: per-cell
+ *                     host-performance rows (executed cells only) and
+ *                     min/median/max aggregates. Never part of the
+ *                     cache key; the bfgts-sweep-v1 report stays
+ *                     byte-identical with or without it.
  *   (--cpus/--tpc/--tx/--bloom-bits/--interval/--slots set the base
  *    configuration of every cell)
  */
@@ -74,6 +87,7 @@
 #include "runner/sweep.h"
 #include "sim/chrome_trace.h"
 #include "sim/json.h"
+#include "sim/profiler.h"
 #include "sim/sampler.h"
 #include "sim/trace.h"
 #include "workloads/splash2.h"
@@ -120,11 +134,11 @@ usage(const char *argv0)
                  "[--trace-cats tx,sched,cm,predictor,mem,audit]\n"
                  "          [--trace-chrome FILE] [--ts FILE] "
                  "[--ts-interval N] [--conflict-dot FILE]\n"
-                 "          [--list]\n"
+                 "          [--profile FILE] [--list]\n"
                  "   sweep: %s --sweep [--workloads A,B] [--cms X,Y] "
                  "[--seeds 1,2]\n"
                  "          [--jobs N] [--cache DIR] [--baselines] "
-                 "[--json FILE]\n",
+                 "[--json FILE] [--profile FILE]\n",
                  argv0, argv0);
     std::exit(1);
 }
@@ -294,7 +308,8 @@ runSweep(const std::vector<std::string> &workload_names,
          const std::vector<std::string> &seed_names,
          const runner::RunOptions &base, bool with_baselines,
          int jobs, const std::string &cache_dir,
-         const std::string &json_path, const char *argv0)
+         const std::string &json_path,
+         const std::string &profile_path, const char *argv0)
 {
     std::vector<std::string> workload_list = workload_names;
     if (workload_list.empty())
@@ -352,6 +367,7 @@ runSweep(const std::vector<std::string> &workload_names,
     sweep_options.jobs = jobs;
     sweep_options.cacheDir = cache_dir;
     sweep_options.progress = &std::cerr;
+    sweep_options.profile = !profile_path.empty();
     runner::SweepRunner sweep(sweep_options);
     sweep.run(cells);
 
@@ -370,6 +386,15 @@ runSweep(const std::vector<std::string> &workload_names,
             return 1;
         }
         sweep.writeReport(json_file, "cli-sweep");
+    }
+    if (!profile_path.empty()) {
+        std::ofstream profile_file(profile_path);
+        if (!profile_file) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         profile_path.c_str());
+            return 1;
+        }
+        sweep.writeProfileReport(profile_file, "cli-sweep");
     }
     return stats.errors == 0 ? 0 : 1;
 }
@@ -454,6 +479,7 @@ main(int argc, char **argv)
     std::string ts_path;
     sim::Tick ts_interval = 10'000;
     std::string dot_path;
+    std::string profile_path;
 
     bool sweep_mode = false;
     bool sweep_baselines = false;
@@ -520,6 +546,8 @@ main(int argc, char **argv)
                 usage(argv[0]);
         } else if (arg == "--conflict-dot") {
             dot_path = next();
+        } else if (arg == "--profile") {
+            profile_path = next();
         } else if (arg == "--sweep") {
             sweep_mode = true;
         } else if (arg == "--workloads") {
@@ -549,7 +577,7 @@ main(int argc, char **argv)
         base.audit = config.audit;
         return runSweep(sweep_workloads, sweep_cms, sweep_seeds, base,
                         sweep_baselines, sweep_jobs, sweep_cache,
-                        json_path, argv[0]);
+                        json_path, profile_path, argv[0]);
     }
 
     config.cm = cm::cmKindFromName(manager);
@@ -628,6 +656,17 @@ main(int argc, char **argv)
         config.sampler = sampler.get();
     }
 
+    // Host-performance profiling (--profile). The profiler hangs off
+    // SimConfig like the other observers; the counter sink is only
+    // attached under --profile so plain --trace-chrome timelines stay
+    // byte-identical across hosts.
+    sim::Profiler profiler;
+    if (!profile_path.empty()) {
+        config.profiler = &profiler;
+        if (chrome_sink != nullptr)
+            profiler.setCounterSink(chrome_sink.get());
+    }
+
     runner::Simulation simulation(config);
     const runner::SimResults r = simulation.run();
 
@@ -687,6 +726,16 @@ main(int argc, char **argv)
             return 1;
         }
         writeConflictDot(dot_file, r);
+    }
+
+    if (!profile_path.empty()) {
+        std::ofstream profile_file(profile_path);
+        if (!profile_file) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         profile_path.c_str());
+            return 1;
+        }
+        profiler.writeReport(profile_file, r.workload + "-" + r.cm);
     }
 
     if (with_baseline) {

@@ -33,8 +33,15 @@ code patterns that most often break that property in C++ codebases:
                         model code make runs irreproducible. The only
                         exemptions are the sanctioned read-once env
                         shims (src/sim/det_hash.h for BFGTS_HASH_SEED,
-                        src/sim/audit.cpp for BFGTS_AUDIT) and
-                        src/sim/random.h.
+                        src/sim/audit.cpp for BFGTS_AUDIT),
+                        src/sim/random.h, and src/sim/host_clock.h --
+                        the single sanctioned host-clock shim through
+                        which the host-performance profiler
+                        (sim/profiler.h) reads steady_clock and
+                        getrusage; its output is segregated into the
+                        separate nondeterministic bfgts-prof-v1
+                        report. Every other model file still fails
+                        this rule on any direct clock or env read.
 
   unordered-float-accumulation
                         Floating-point accumulation (+=, -=, *=, /=
@@ -87,9 +94,11 @@ SIM_AFFECTING_DIRS = ("sim", "cm", "htm", "runner", "os", "cpu")
 # Files allowed to define randomness/seeding policy.
 RANDOM_POLICY_FILES = ("sim/random.h", "sim/det_hash.h")
 
-# Files allowed to read the environment (read-once startup shims).
+# Files allowed to read the environment (read-once startup shims) or
+# -- for sim/host_clock.h only -- the host clock: the sanctioned shim
+# the profiler's nondeterministic bfgts-prof-v1 report flows through.
 WALL_CLOCK_POLICY_FILES = ("sim/random.h", "sim/det_hash.h",
-                           "sim/audit.cpp")
+                           "sim/audit.cpp", "sim/host_clock.h")
 
 UNORDERED_TYPES = (
     "std::unordered_set",

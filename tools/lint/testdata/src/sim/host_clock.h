@@ -1,0 +1,33 @@
+// Fixture: the sanctioned host-clock shim path. sim/host_clock.h is
+// on the wall-clock exemption list, so the direct steady_clock and
+// clock_gettime reads below must produce NO findings -- while the
+// byte-identical code in runner/wall_clock.cpp keeps failing the
+// rule. Expected findings: 0.
+
+#ifndef LINT_TESTDATA_HOST_CLOCK_H
+#define LINT_TESTDATA_HOST_CLOCK_H
+
+#include <chrono>
+#include <cstdint>
+#include <ctime>
+
+inline std::uint64_t
+fixtureHostNowNs()
+{
+    const auto now = std::chrono::steady_clock::now();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            now.time_since_epoch())
+            .count());
+}
+
+inline std::uint64_t
+fixtureHostCoarseNs()
+{
+    struct timespec ts {};
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ULL
+         + static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+#endif // LINT_TESTDATA_HOST_CLOCK_H

@@ -3,14 +3,15 @@
 
 Every document is validated twice: first against the formal JSON
 Schema checked in under docs/schemas/ (bfgts-obs-v1, bfgts-ts-v1,
-bfgts-sweep-v1), then by the hand-written semantic checks below that
-a schema cannot express (fraction sums, cross-line window chaining,
-sorted top-N lists, balanced trace slices).
+bfgts-sweep-v1, bfgts-prof-v1), then by the hand-written semantic
+checks below that a schema cannot express (fraction sums, cross-line
+window chaining, sorted top-N lists, balanced trace slices, profile
+shares summing to the run loop).
 
 Three modes:
 
   validate_obs_json.py FILE [FILE...]
-      Check existing documents (run, bench, or sweep kind) against
+      Check existing documents (run, bench, sweep, or prof) against
       the schemas.
 
   validate_obs_json.py --cli PATH_TO_BFGTS_CLI
@@ -21,7 +22,11 @@ Three modes:
       conflict edges, bfgts-ts-v1 stream shape, Chrome trace_event
       shape with balanced begin/end slices per track). Also runs a
       small --sweep matrix and schema-checks the bfgts-sweep-v1
-      report.
+      report. A further run adds --profile and asserts that every
+      deterministic artifact (report, trace, time series, DOT, and
+      the sweep report) comes out byte-identical with profiling on
+      -- the bfgts-prof-v1 documents themselves are only schema- and
+      semantics-checked, being wall-clock data.
 
   validate_obs_json.py --bench PATH_TO_BENCH_BINARY
       Run the bench with BFGTS_QUICK=1 and --json and schema-check
@@ -317,6 +322,49 @@ def check_sweep(doc, where):
           f"{where}: duplicate cell labels")
 
 
+PROF_PHASES = ["event_queue", "workload", "cm_decide", "cm_commit",
+               "bloom", "predictor", "os_sched", "mem", "other"]
+PROF_STRUCTURES = ["confidence_tables", "bloom_signatures",
+                   "predictor_caches", "event_queue"]
+
+
+def check_prof_run(prof, where):
+    """Semantic checks of one bfgts-prof-v1 profile object."""
+    names = [phase["name"] for phase in prof["phases"]]
+    check(names == PROF_PHASES,
+          f"{where}: phases are {names}, want {PROF_PHASES}")
+    check([m["name"] for m in prof["memory"]] == PROF_STRUCTURES,
+          f"{where}: memory gauges are not {PROF_STRUCTURES}")
+    if prof["wallNs"] > 0:
+        # The synthesized 'other' bucket absorbs unattributed run-loop
+        # time, so the shares account for (essentially) the whole
+        # loop; clock jitter can push attributed time slightly past
+        # wallNs, hence >= rather than ==.
+        share_sum = sum(phase["share"] for phase in prof["phases"])
+        check(share_sum >= 1.0 - 1e-6,
+              f"{where}: phase shares sum to {share_sum}, want ~1")
+        check(prof["peakRssBytes"] > 0,
+              f"{where}: peak RSS missing on a timed run")
+
+
+def check_prof(doc, where):
+    validate_schema(doc, "bfgts-prof-v1", where)
+    if doc["kind"] == "run":
+        check_prof_run(doc["run"], f"{where}: run")
+        return
+    check(doc["profiledCells"] == len(doc["cells"]),
+          f"{where}: profiledCells {doc['profiledCells']} != "
+          f"{len(doc['cells'])} cells")
+    check(doc["profiledCells"] <= doc["cellCount"],
+          f"{where}: more profiled cells than cells")
+    for cell in doc["cells"]:
+        check_prof_run(cell["run"], f"{where}: {cell['label']}")
+    for metric, agg in doc["aggregate"].items():
+        check(agg["min"] <= agg["median"] <= agg["max"],
+              f"{where}: aggregate.{metric} not ordered "
+              f"min<=median<=max")
+
+
 def check_trace_jsonl(path):
     with open(path, "rb") as fh:
         lines = fh.read().splitlines()
@@ -456,16 +504,52 @@ def mode_cli(cli, workdir):
         check(outputs[0][kind] == outputs[1][kind],
               f"{kind} output differs across BFGTS_HASH_SEED values")
 
-    # A small sweep matrix exercises the third schema end to end.
+    # --profile must be purely additive: every deterministic artifact
+    # byte-identical to the unprofiled run, the bfgts-prof-v1 report
+    # schema-valid. The Chrome timeline is exempt from the byte check
+    # (profiling adds host counter tracks) but must stay well-formed.
+    prof_paths = {kind: os.path.join(workdir, "prof-" + pattern
+                                     .format("x"))
+                  for kind, (pattern, _) in artifacts.items()}
+    prof_report = os.path.join(workdir, "prof.json")
+    run([cli, *CLI_ARGS,
+         "--json", prof_paths["json"],
+         "--trace", prof_paths["trace"], "--trace-jsonl",
+         "--ts", prof_paths["ts"],
+         "--trace-chrome", prof_paths["chrome"],
+         "--conflict-dot", prof_paths["dot"],
+         "--profile", prof_report],
+        env_extra={"BFGTS_HASH_SEED": "0x0123456789abcdef"})
+    check_prof(load(prof_report), prof_report)
+    check_chrome_trace(prof_paths["chrome"])
+    for kind in ("json", "trace", "ts", "dot"):
+        with open(prof_paths[kind], "rb") as fh:
+            check(fh.read() == outputs[0][kind],
+                  f"{kind} output changed under --profile")
+
+    # A small sweep matrix exercises the third schema end to end;
+    # rerun it with --profile and require the bfgts-sweep-v1 report
+    # byte-identical (the profile is a separate side channel).
+    sweep_args = [cli, "--sweep", "--workloads", "Intruder",
+                  "--cms", "BFGTS-HW,Backoff", "--tx", "10",
+                  "--cpus", "4", "--tpc", "2"]
     sweep_path = os.path.join(workdir, "sweep.json")
-    run([cli, "--sweep", "--workloads", "Intruder",
-         "--cms", "BFGTS-HW,Backoff", "--tx", "10",
-         "--cpus", "4", "--tpc", "2", "--json", sweep_path])
+    run(sweep_args + ["--json", sweep_path])
     check_sweep(load(sweep_path), sweep_path)
+    sweep_prof_path = os.path.join(workdir, "sweep-prof.json")
+    sweep_profile = os.path.join(workdir, "sweep-profile.json")
+    run(sweep_args + ["--json", sweep_prof_path,
+                      "--profile", sweep_profile])
+    check_prof(load(sweep_profile), sweep_profile)
+    with open(sweep_path, "rb") as fh_a, \
+            open(sweep_prof_path, "rb") as fh_b:
+        check(fh_a.read() == fh_b.read(),
+              "sweep report changed under --profile")
 
     print("validate_obs_json: cli OK (report, trace, time series, "
           "chrome timeline, and conflict DOT all byte-identical "
-          "across hash seeds; sweep report schema-valid)")
+          "across hash seeds and under --profile; sweep and prof "
+          "reports schema-valid)")
 
 
 def mode_bench(bench, workdir):
@@ -489,7 +573,9 @@ def main():
 
     for path in args.files:
         doc = load(path)
-        if doc.get("kind") == "sweep":
+        if doc.get("schema") == "bfgts-prof-v1":
+            check_prof(doc, path)
+        elif doc.get("kind") == "sweep":
             check_sweep(doc, path)
         else:
             check_envelope(doc, path)
