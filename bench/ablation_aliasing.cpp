@@ -11,13 +11,14 @@
 #include "bench_util.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     const auto options = bench::defaultOptions();
     const std::vector<int> slot_counts{1, 2, 3, 0}; // 0 = exact
 
     bench::banner("Ablation: confidence-table aliasing (BFGTS-HW "
                   "speedup by slot count)");
+    bench::JsonReporter reporter("ablation_aliasing", argc, argv);
 
     std::vector<std::string> headers{"Benchmark"};
     for (int slots : slot_counts) {
@@ -38,13 +39,22 @@ main()
             swept.tuning.bfgts.confTableSlots = slots;
             const runner::SimResults r =
                 runner::runStamp(name, cm::CmKind::BfgtsHw, swept);
-            row.push_back(sim::fmtDouble(
-                base / static_cast<double>(r.runtime), 2));
+            const double speedup =
+                base / static_cast<double>(r.runtime);
+            reporter.addRow()
+                .set("benchmark", name)
+                .set("slots", static_cast<std::uint64_t>(slots))
+                .set("speedup", speedup)
+                .set("runtime", r.runtime)
+                .set("aborts", r.aborts);
+            row.push_back(sim::fmtDouble(speedup, 2));
         }
         row.push_back(std::to_string(
             workloads::makeStampWorkload(name, 1)->numStaticTx()));
         table.addRow(row);
     }
     table.print(std::cout);
+    if (!reporter.write())
+        return 1;
     return 0;
 }

@@ -32,13 +32,14 @@ runCell(const std::string &workload, cm::CmKind kind,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     const auto options = bench::defaultOptions();
     const std::vector<std::uint64_t> sizes{256, 512, 1024, 2048, 0};
 
     bench::banner("Ablation: conflict-detection signature size "
                   "(0 = perfect/exact, as in the paper)");
+    bench::JsonReporter reporter("ablation_signatures", argc, argv);
 
     std::vector<std::string> headers{"Benchmark", "Manager"};
     for (std::uint64_t bits : sizes) {
@@ -59,8 +60,16 @@ main()
             for (std::uint64_t bits : sizes) {
                 const runner::SimResults r =
                     runCell(name, kind, bits, options);
-                row.push_back(sim::fmtDouble(
-                    base / static_cast<double>(r.runtime), 2));
+                const double speedup =
+                    base / static_cast<double>(r.runtime);
+                reporter.addRow()
+                    .set("benchmark", name)
+                    .set("manager", cm::cmKindName(kind))
+                    .set("signatureBits", bits)
+                    .set("speedup", speedup)
+                    .set("runtime", r.runtime)
+                    .set("aborts", r.aborts);
+                row.push_back(sim::fmtDouble(speedup, 2));
             }
             table.addRow(row);
         }
@@ -70,5 +79,7 @@ main()
                  "and manufacture false conflicts;\nthe paper "
                  "sidesteps this by assuming perfect detection "
                  "signatures (Table 2).\n";
+    if (!reporter.write())
+        return 1;
     return 0;
 }

@@ -28,12 +28,13 @@ withoutSimilarity(runner::RunOptions options)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     const auto options = bench::defaultOptions();
 
     bench::banner("Ablation: similarity-weighted confidence updates "
                   "(BFGTS-HW)");
+    bench::JsonReporter reporter("ablation_similarity", argc, argv);
 
     sim::TextTable table({"Benchmark", "with similarity",
                           "without similarity", "delta"});
@@ -53,6 +54,14 @@ main()
             base / static_cast<double>(off.runtime);
         with_sim.push_back(speedup_on);
         without_sim.push_back(speedup_off);
+        reporter.addRow()
+            .set("benchmark", name)
+            .set("speedupWith", speedup_on)
+            .set("speedupWithout", speedup_off)
+            .set("runtimeWith", on.runtime)
+            .set("runtimeWithout", off.runtime)
+            .set("abortsWith", on.aborts)
+            .set("abortsWithout", off.aborts);
         table.addRow({name, sim::fmtDouble(speedup_on, 2),
                       sim::fmtDouble(speedup_off, 2),
                       sim::fmtDouble(
@@ -69,5 +78,7 @@ main()
                                  1)
                       + "%"});
     table.print(std::cout);
+    if (!reporter.write())
+        return 1;
     return 0;
 }

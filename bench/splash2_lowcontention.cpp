@@ -33,7 +33,7 @@ run(const std::string &name, cm::CmKind kind, int cpus, int tpc,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     const int tx_override = bench::quickMode() ? 20 : 0;
     std::vector<std::string> headers{"Benchmark"};
@@ -44,6 +44,7 @@ main()
 
     bench::banner("SPLASH2-like low-contention suite "
                   "(speedup over one core)");
+    bench::JsonReporter reporter("splash2_lowcontention", argc, argv);
 
     for (const std::string &name :
          workloads::splash2BenchmarkNames()) {
@@ -64,12 +65,21 @@ main()
                 run(name, kind, 16, 4, tx_override);
             if (kind == cm::CmKind::Backoff)
                 backoff_cont = r.contentionRate;
-            row.push_back(sim::fmtDouble(
-                base / static_cast<double>(r.runtime), 2));
+            const double speedup =
+                base / static_cast<double>(r.runtime);
+            reporter.addRow()
+                .set("benchmark", name)
+                .set("manager", cm::cmKindName(kind))
+                .set("speedup", speedup)
+                .set("runtime", r.runtime)
+                .set("contentionRate", r.contentionRate);
+            row.push_back(sim::fmtDouble(speedup, 2));
         }
         row.push_back(sim::fmtPercent(backoff_cont, 1));
         table.addRow(row);
     }
     table.print(std::cout);
+    if (!reporter.write())
+        return 1;
     return 0;
 }

@@ -8,10 +8,11 @@
 #include "bench_util.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     const runner::SimConfig config;
     bench::banner("Table 2: simulation parameters (live defaults)");
+    bench::JsonReporter reporter("table2_config", argc, argv);
     sim::TextTable table({"Feature", "This simulator", "Paper"});
     table.addRow({"Processors",
                   std::to_string(config.numCpus)
@@ -73,6 +74,39 @@ main()
                   "Backoff, PTS, ATS, BFGTS-SW/HW/HW-Backoff/"
                   "NoOverhead (+ Timestamp, Polka extras)",
                   "PTS, ATS, BFGTS-SW/HW/HW-Backoff/NoOverhead"});
+    // One machine-readable row with the live default parameters, so
+    // the baseline gate catches accidental Table 2 drift.
+    reporter.addRow()
+        .set("cpus", static_cast<std::uint64_t>(config.numCpus))
+        .set("threads",
+             static_cast<std::uint64_t>(config.numThreads()))
+        .set("perWordCycle",
+             static_cast<std::uint64_t>(
+                 config.tuning.bfgts.perWordCycle))
+        .set("fyl2xCost",
+             static_cast<std::uint64_t>(config.tuning.bfgts.fyl2xCost))
+        .set("l1Bytes",
+             static_cast<std::uint64_t>(config.mem.l1.sizeBytes))
+        .set("l1Assoc",
+             static_cast<std::uint64_t>(config.mem.l1.associativity))
+        .set("l1Hit",
+             static_cast<std::uint64_t>(config.mem.l1.hitLatency))
+        .set("confCacheBytes",
+             static_cast<std::uint64_t>(
+                 config.predictor.confCache.sizeBytes))
+        .set("l2Bytes",
+             static_cast<std::uint64_t>(config.mem.l2.sizeBytes))
+        .set("l2Hit",
+             static_cast<std::uint64_t>(config.mem.l2.hitLatency))
+        .set("memLatency",
+             static_cast<std::uint64_t>(config.mem.memLatency))
+        .set("busOccupancy",
+             static_cast<std::uint64_t>(config.mem.busOccupancy))
+        .set("bloomBits",
+             static_cast<std::uint64_t>(
+                 config.tuning.bfgts.bloom.numBits));
     table.print(std::cout);
+    if (!reporter.write())
+        return 1;
     return 0;
 }

@@ -8,10 +8,11 @@
 #include "bench_util.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Table 3: benchmark parameters (live generator "
                   "presets; paper used STAMP inputs)");
+    bench::JsonReporter reporter("table3_inputs", argc, argv);
     sim::TextTable table({"Benchmark", "Site", "Weight", "Accesses",
                           "Sim", "Work/acc", "NonTx", "Hot frac",
                           "Sticky pool", "Tx/thread"});
@@ -27,6 +28,21 @@ main()
                 pool = std::to_string(
                     site.hotGroups[0].stickyPoolLines);
             }
+            reporter.addRow()
+                .set("benchmark", name)
+                .set("site", static_cast<std::uint64_t>(i))
+                .set("weight", site.weight)
+                .set("meanAccesses",
+                     static_cast<std::uint64_t>(site.meanAccesses))
+                .set("accessJitter",
+                     static_cast<std::uint64_t>(site.accessJitter))
+                .set("similarity", site.similarity)
+                .set("workPerAccess",
+                     static_cast<std::uint64_t>(site.workPerAccess))
+                .set("nonTxWork",
+                     static_cast<std::uint64_t>(site.nonTxWork))
+                .set("txPerThread",
+                     static_cast<std::uint64_t>(params.txPerThread));
             table.addRow(
                 {i == 0 ? name : "", std::to_string(i),
                  sim::fmtDouble(site.weight, 1),
@@ -39,5 +55,7 @@ main()
         }
     }
     table.print(std::cout);
+    if (!reporter.write())
+        return 1;
     return 0;
 }

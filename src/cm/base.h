@@ -34,6 +34,7 @@ namespace sim {
 class AuditEngine;
 class EventQueue;
 class Profiler;
+class QualityRecorder;
 }
 
 namespace cm {
@@ -52,6 +53,10 @@ struct Services {
      *  wall-time/memory accounting may flow through it -- never model
      *  state. */
     sim::Profiler *profiler = nullptr;
+    /** Decision-quality recorder; null outside --quality runs.
+     *  Observational only: hooks may report estimates and exact
+     *  RW-sets to it but must never read it back. */
+    sim::QualityRecorder *quality = nullptr;
 };
 
 /**

@@ -8,6 +8,7 @@
 #include "sim/event_queue.h"
 #include "sim/logging.h"
 #include "sim/profiler.h"
+#include "sim/quality.h"
 
 namespace cm {
 
@@ -213,7 +214,12 @@ BeginDecision
 BfgtsManager::suspend(const TxInfo &tx, htm::DTxId wait_on,
                       CmCost cost)
 {
-    // suspendTx(), Example 2.
+    // suspendTx(), Example 2. The triggering confidence is read
+    // before the decay below so the decision reports the value the
+    // stall was actually based on.
+    const double trigger_conf =
+        static_cast<double>(confidence(tx.sTx, ids_.staticOf(wait_on)))
+        / 255.0;
     trackSerialization(ids_.staticOf(wait_on), tx.sTx);
     if (!noOverhead())
         cost.sched += config_.suspendCost;
@@ -236,6 +242,7 @@ BfgtsManager::suspend(const TxInfo &tx, htm::DTxId wait_on,
     BeginDecision decision;
     decision.cost = cost;
     decision.waitOn = wait_on;
+    decision.confidence = trigger_conf;
     decision.action = holder.avgSize >= config_.smallTxLines
                           ? BeginAction::YieldOn
                           : BeginAction::StallOn;
@@ -271,6 +278,8 @@ BfgtsManager::onTxBegin(const TxInfo &tx)
         decision.cost.sched += result.latency;
         if (result.conflictPredicted)
             return suspend(tx, result.waitOn, decision.cost);
+        decision.confidence =
+            static_cast<double>(result.maxConfidence) / 255.0;
         return decision;
     }
 
@@ -279,6 +288,7 @@ BfgtsManager::onTxBegin(const TxInfo &tx)
         decision.cost.sched += config_.swScanBase;
     else
         decision.cost.sched += 1;
+    std::uint32_t max_conf = 0;
     for (int cpu = 0; cpu < numCpus(); ++cpu) {
         if (cpu == tx.cpu)
             continue;
@@ -287,11 +297,13 @@ BfgtsManager::onTxBegin(const TxInfo &tx)
         const htm::DTxId running = runningOn(cpu);
         if (running == htm::kNoTx)
             continue;
-        if (confidence(tx.sTx, ids_.staticOf(running))
-            > config_.confThreshold) {
+        const std::uint32_t conf =
+            confidence(tx.sTx, ids_.staticOf(running));
+        max_conf = std::max(max_conf, conf);
+        if (conf > config_.confThreshold)
             return suspend(tx, running, decision.cost);
-        }
     }
+    decision.confidence = static_cast<double>(max_conf) / 255.0;
     return decision;
 }
 
@@ -546,6 +558,23 @@ BfgtsManager::onTxCommit(const TxInfo &tx,
                 *n_bloom, *self.lastBloom, self.avgSize);
             similarityHist_.sample(new_sim);
             self.similarity = 0.5 * (self.similarity + new_sim);
+            if (services_.quality != nullptr) {
+                double occupancy = 0.0;
+                const auto *sig =
+                    dynamic_cast<const bloom::BloomSignature *>(
+                        n_bloom.get());
+                if (sig != nullptr) {
+                    const bloom::BloomFilter &filter = sig->filter();
+                    occupancy =
+                        static_cast<double>(filter.popCount())
+                        / static_cast<double>(filter.numBits());
+                }
+                services_.quality->recordEstimate(
+                    static_cast<std::int64_t>(tx.dTx), rw_lines,
+                    n_bloom->estimateSize(),
+                    n_bloom->estimateIntersectionSize(*self.lastBloom),
+                    new_sim, occupancy, self.avgSize);
+            }
         }
     } else {
         skippedSimUpdates_.inc();
@@ -584,8 +613,16 @@ BfgtsManager::onTxCommit(const TxInfo &tx,
         }
     }
 
-    if (sim_update_due)
+    if (sim_update_due) {
         self.lastBloom = std::move(n_bloom);
+        // The recorder's exact previous set must track the stored
+        // signature so Eq. 3/4 ground truth matches what the next
+        // estimate is computed against.
+        if (services_.quality != nullptr) {
+            services_.quality->noteSet(
+                static_cast<std::int64_t>(tx.dTx), rw_lines);
+        }
+    }
     return cost;
 }
 

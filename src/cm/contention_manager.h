@@ -64,6 +64,12 @@ struct BeginDecision {
     BeginAction action = BeginAction::Proceed;
     htm::DTxId waitOn = htm::kNoTx;
     CmCost cost;
+    /** Predicted conflict probability in [0, 1] behind this
+     *  decision: the (normalized) confidence that triggered a
+     *  stall, or the highest confidence consulted on a go.
+     *  Negative when the CM consulted no confidence table.
+     *  Observability only -- never feeds back into scheduling. */
+    double confidence = -1.0;
 };
 
 /** Identity of a transaction as the CM hooks see it. */

@@ -48,6 +48,7 @@ PtsManager::onTxBegin(const TxInfo &tx)
     BeginDecision decision;
     decision.cost.sched = config_.scanBaseCost;
 
+    double max_conf = 0.0;
     for (int cpu = 0; cpu < numCpus(); ++cpu) {
         if (cpu == tx.cpu)
             continue;
@@ -55,14 +56,16 @@ PtsManager::onTxBegin(const TxInfo &tx)
         if (running == htm::kNoTx)
             continue;
         decision.cost.sched += config_.scanPerEntryCost;
-        if (confidence(tx.dTx, running)
-            > static_cast<double>(config_.confThreshold)) {
+        const double conf = confidence(tx.dTx, running);
+        max_conf = std::max(max_conf, conf);
+        if (conf > static_cast<double>(config_.confThreshold)) {
             trackSerialization(ids_.staticOf(running), tx.sTx);
             // Decay the consulted edge so repeated serializations
             // eventually let the pair run concurrently again.
             bumpConfidence(tx.dTx, running, -config_.suspendDecay);
             statsFor(tx.dTx).waitedOn.push_back(running);
             decision.waitOn = running;
+            decision.confidence = std::clamp(conf / 255.0, 0.0, 1.0);
             decision.action =
                 statsFor(running).avgSize >= config_.smallTxLines
                     ? BeginAction::YieldOn
@@ -70,6 +73,7 @@ PtsManager::onTxBegin(const TxInfo &tx)
             return decision;
         }
     }
+    decision.confidence = std::clamp(max_conf / 255.0, 0.0, 1.0);
     return decision;
 }
 

@@ -1,5 +1,6 @@
 #include "predictor.h"
 
+#include <algorithm>
 #include <string>
 
 #include "sim/audit.h"
@@ -93,6 +94,7 @@ PredictorSystem::predict(sim::CpuId self, htm::STxId stx,
         result.latency += hit ? unit.cache->hitLatency()
                               : config_.missLatency;
         const std::uint32_t conf = read_conf(stx, confidx);
+        result.maxConfidence = std::max(result.maxConfidence, conf);
         if (conf > threshold) {
             result.conflictPredicted = true;
             result.waitOn = running;

@@ -71,6 +71,9 @@ struct PredictResult {
     htm::DTxId waitOn = htm::kNoTx;
     /** Cycles the prediction took. */
     sim::Cycles latency = 0;
+    /** Highest confidence value consulted (0..255 table units);
+     *  the triggering confidence when conflictPredicted. */
+    std::uint32_t maxConfidence = 0;
 };
 
 /** Reads confidence[row][col] from the runtime's table. */

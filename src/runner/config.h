@@ -28,6 +28,7 @@
 
 namespace sim {
 class Profiler;
+class QualityRecorder;
 class Sampler;
 }
 
@@ -130,6 +131,20 @@ struct SimConfig {
      * profiler and reads/serializes it after run().
      */
     sim::Profiler *profiler = nullptr;
+
+    /**
+     * Decision-quality recorder (docs/observability.md). When set,
+     * the CM and runner report every Eq. 2-4 estimate alongside the
+     * exact RW-set ground truth, and every classified stall/go
+     * outcome with its predicted confidence and cycle attribution;
+     * the recorder aggregates them into the `bfgts-qual-v1` report.
+     * Observational only: quality data never feeds model state, so
+     * a recorded run produces byte-identical deterministic results,
+     * and the report itself is deterministic (byte-identical across
+     * BFGTS_HASH_SEED values and sweep --jobs counts). The caller
+     * owns the recorder and serializes it after run().
+     */
+    sim::QualityRecorder *quality = nullptr;
 
     /**
      * Checked simulation mode (docs/static-analysis.md): run every

@@ -29,10 +29,12 @@ makeConfig(const std::string &workload, cm::CmKind kind,
 
 SimResults
 runStamp(const std::string &workload, cm::CmKind kind,
-         const RunOptions &options, sim::Profiler *profiler)
+         const RunOptions &options, sim::Profiler *profiler,
+         sim::QualityRecorder *quality)
 {
     SimConfig config = makeConfig(workload, kind, options);
     config.profiler = profiler;
+    config.quality = quality;
     Simulation simulation(config);
     return simulation.run();
 }
@@ -40,7 +42,8 @@ runStamp(const std::string &workload, cm::CmKind kind,
 SimResults
 runSingleCoreBaseline(const std::string &workload,
                       const RunOptions &options,
-                      sim::Profiler *profiler)
+                      sim::Profiler *profiler,
+                      sim::QualityRecorder *quality)
 {
     RunOptions single = options;
     single.numCpus = 1;
@@ -53,7 +56,8 @@ runSingleCoreBaseline(const std::string &workload,
             : workloads::makeStampWorkload(workload, 1)->txPerThread();
     single.txPerThread =
         per_thread * options.numCpus * options.threadsPerCpu;
-    return runStamp(workload, cm::CmKind::Backoff, single, profiler);
+    return runStamp(workload, cm::CmKind::Backoff, single, profiler,
+                    quality);
 }
 
 double

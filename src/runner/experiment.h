@@ -50,13 +50,16 @@ SimConfig makeConfig(const std::string &workload, cm::CmKind kind,
  * Run one (benchmark, manager) cell.
  *
  * @p profiler optionally attaches the host-performance profiler to
- * the run (SimConfig::profiler). It is deliberately NOT a RunOptions
- * knob: RunOptions feeds the sweep cache key, and profiling must
- * never perturb cache identity or results.
+ * the run (SimConfig::profiler); @p quality optionally attaches the
+ * decision-quality recorder (SimConfig::quality). Both are
+ * deliberately NOT RunOptions knobs: RunOptions feeds the sweep
+ * cache key, and observers must never perturb cache identity or
+ * results.
  */
 SimResults runStamp(const std::string &workload, cm::CmKind kind,
                     const RunOptions &options = {},
-                    sim::Profiler *profiler = nullptr);
+                    sim::Profiler *profiler = nullptr,
+                    sim::QualityRecorder *quality = nullptr);
 
 /**
  * Run the single-core baseline: one CPU, one thread, Backoff, the
@@ -65,7 +68,9 @@ SimResults runStamp(const std::string &workload, cm::CmKind kind,
  */
 SimResults runSingleCoreBaseline(const std::string &workload,
                                  const RunOptions &options = {},
-                                 sim::Profiler *profiler = nullptr);
+                                 sim::Profiler *profiler = nullptr,
+                                 sim::QualityRecorder *quality
+                                 = nullptr);
 
 /** Fig. 4a metric: baseline runtime / parallel runtime. */
 double speedupOverOneCore(const SimResults &parallel,

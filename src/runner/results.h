@@ -77,6 +77,9 @@ struct PredictionQuality {
     /** Serialized attempt aborted anyway (conflict was real but the
      *  stall did not prevent it). */
     std::uint64_t predictedAborts = 0;
+    /** Unserialized attempt committed cleanly (nothing to predict,
+     *  nothing predicted). */
+    std::uint64_t trueNegatives = 0;
 
     /** TP / (TP + FP); 0 when no classified predictions. */
     double
@@ -96,6 +99,28 @@ struct PredictionQuality {
         return denom == 0 ? 0.0
                           : static_cast<double>(truePositives)
                                 / static_cast<double>(denom);
+    }
+
+    /** Harmonic mean of precision and recall; 0 when both are 0. */
+    double
+    f1() const
+    {
+        const double p = precision();
+        const double r = recall();
+        return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+    }
+
+    /** (TP + TN) / all classified attempts; 0 when none. */
+    double
+    accuracy() const
+    {
+        const std::uint64_t denom = truePositives + trueNegatives
+                                  + falsePositives + falseNegatives;
+        return denom == 0
+                   ? 0.0
+                   : static_cast<double>(truePositives
+                                         + trueNegatives)
+                         / static_cast<double>(denom);
     }
 };
 

@@ -8,6 +8,7 @@
 #include "sim/json.h"
 #include "sim/logging.h"
 #include "sim/profiler.h"
+#include "sim/quality.h"
 #include "sim/sampler.h"
 #include "workloads/stamp.h"
 
@@ -67,6 +68,7 @@ Simulation::Simulation(const SimConfig &config)
     services.events = &events_;
     services.audit = audit_;
     services.profiler = config_.profiler;
+    services.quality = config_.quality;
     if (config_.cm == cm::CmKind::BfgtsHw
         || config_.cm == cm::CmKind::BfgtsHwBackoff) {
         services.predictors = predictors_.get();
@@ -330,6 +332,14 @@ Simulation::doTxBegin(Worker &worker)
         // classify the prediction against it.
         worker.attemptSerializedOn = worker.lastSerializedOn;
         worker.lastSerializedOn = htm::kNoTx;
+        // A serialized attempt is classified against the stall
+        // decision's confidence; a straight-through attempt against
+        // the confidence this go decision was based on.
+        worker.attemptConfidence =
+            worker.attemptSerializedOn != htm::kNoTx
+                ? worker.lastConfidence
+                : decision.confidence;
+        worker.lastConfidence = -1.0;
         trace(worker, sim::TraceCategory::Tx, "start");
         worker.tx.active = true;
         worker.tx.attemptStart = events_.curTick();
@@ -356,6 +366,7 @@ Simulation::doTxBegin(Worker &worker)
         sitePrediction_[static_cast<std::size_t>(info.sTx)]
             .predictedStalls.inc();
         worker.lastSerializedOn = decision.waitOn;
+        worker.lastConfidence = decision.confidence;
         if (wantsTrace(sim::TraceCategory::Predictor)) {
             trace(worker, sim::TraceCategory::Predictor, "predict",
                   {{"on", std::to_string(decision.waitOn)}});
@@ -374,6 +385,7 @@ Simulation::doTxBegin(Worker &worker)
         sitePrediction_[static_cast<std::size_t>(info.sTx)]
             .predictedStalls.inc();
         worker.lastSerializedOn = decision.waitOn;
+        worker.lastConfidence = decision.confidence;
         if (wantsTrace(sim::TraceCategory::Predictor)) {
             trace(worker, sim::TraceCategory::Predictor, "predict",
                   {{"on", std::to_string(decision.waitOn)}});
@@ -406,6 +418,8 @@ Simulation::doBeginStall(Worker &worker)
     if (!isTxRunning(worker.stallOn)) {
         stallCyclesHist_.sample(static_cast<double>(
             events_.curTick() - worker.stallStart));
+        worker.attemptStallCycles +=
+            events_.curTick() - worker.stallStart;
         if (wantsTrace(sim::TraceCategory::Sched)) {
             trace(worker, sim::TraceCategory::Sched, "stall-end",
                   {{"on", std::to_string(worker.stallOn)},
@@ -421,6 +435,8 @@ Simulation::doBeginStall(Worker &worker)
         stallTimeouts_.inc();
         stallCyclesHist_.sample(static_cast<double>(
             events_.curTick() - worker.stallStart));
+        worker.attemptStallCycles +=
+            events_.curTick() - worker.stallStart;
         if (wantsTrace(sim::TraceCategory::Sched)) {
             trace(worker, sim::TraceCategory::Sched, "stall-timeout",
                   {{"on", std::to_string(worker.stallOn)}});
@@ -649,11 +665,28 @@ Simulation::abortTx(Worker &worker, const cm::TxInfo &enemy)
             site.falseNegatives.inc();
         else
             site.predictedAborts.inc();
-        worker.attemptSerializedOn = htm::kNoTx;
     }
+    const bool was_serialized =
+        worker.attemptSerializedOn != htm::kNoTx;
+    worker.attemptSerializedOn = htm::kNoTx;
     const int victim_stx = ids_->staticOf(worker.tx.dTxId);
     const int winner_stx =
         enemy.dTx != htm::kNoTx ? enemy.sTx : victim_stx;
+    if (config_.quality != nullptr) {
+        // The aborted attempt's cycles are the wasted work; the
+        // enemy is the abort's actual winner, which keeps the ledger
+        // totals reconcilable against the conflict-edge wasted
+        // cycles in the obs report.
+        config_.quality->recordOutcome(
+            events_.curTick(), winner_stx, victim_stx,
+            worker.attemptConfidence,
+            was_serialized
+                ? sim::QualityRecorder::Outcome::PredictedAbort
+                : sim::QualityRecorder::Outcome::FalseNegative,
+            worker.attemptCycles);
+    }
+    worker.attemptConfidence = -1.0;
+    worker.attemptStallCycles = 0;
     if (wantsTrace(sim::TraceCategory::Tx)) {
         std::vector<std::pair<std::string, std::string>> details;
         details.reserve(3);
@@ -761,6 +794,8 @@ Simulation::doCommitDone(Worker &worker)
     // still hold the set it most recently committed.
     classifyPrediction(worker, rw_lines);
     worker.attemptSerializedOn = htm::kNoTx;
+    worker.attemptConfidence = -1.0;
+    worker.attemptStallCycles = 0;
     worker.buckets.tx += worker.attemptCycles;
     worker.attemptCycles = 0;
     recordSimilarity(worker, rw_lines);
@@ -891,10 +926,22 @@ Simulation::classifyPrediction(const Worker &worker,
                                const std::vector<mem::Addr> &rw_lines)
 {
     const htm::DTxId enemy = worker.attemptSerializedOn;
-    if (enemy == htm::kNoTx)
+    const int victim_stx = ids_->staticOf(worker.tx.dTxId);
+    SitePrediction &site =
+        sitePrediction_[static_cast<std::size_t>(victim_stx)];
+    if (enemy == htm::kNoTx) {
+        // Unserialized clean commit: nothing was predicted and
+        // nothing needed to be.
+        site.trueNegatives.inc();
+        if (config_.quality != nullptr) {
+            config_.quality->recordOutcome(
+                events_.curTick(), /*enemy_stx=*/-1, victim_stx,
+                worker.attemptConfidence,
+                sim::QualityRecorder::Outcome::TrueNegative,
+                /*cycles=*/0);
+        }
         return;
-    SitePrediction &site = sitePrediction_[static_cast<std::size_t>(
-        ids_->staticOf(worker.tx.dTxId))];
+    }
     // Exact-set ground truth: if this commit's lines intersect the
     // enemy's last committed set, the serialization dodged a certain
     // conflict (true positive); a disjoint set means the enemy would
@@ -912,6 +959,18 @@ Simulation::classifyPrediction(const Worker &worker,
         site.truePositives.inc();
     else
         site.falsePositives.inc();
+    if (config_.quality != nullptr) {
+        // Cost-benefit attribution: a correct stall saved the cycles
+        // this attempt would have lost to an abort; a wrong one
+        // wasted the cycles spent begin-stalling.
+        config_.quality->recordOutcome(
+            events_.curTick(), ids_->staticOf(enemy), victim_stx,
+            worker.attemptConfidence,
+            overlap ? sim::QualityRecorder::Outcome::TruePositive
+                    : sim::QualityRecorder::Outcome::FalsePositive,
+            overlap ? worker.attemptCycles
+                    : worker.attemptStallCycles);
+    }
 }
 
 void
@@ -986,13 +1045,14 @@ Simulation::visitStatGroups(
     }
     // Predictor decision quality (runner ground truth).
     {
-        sim::Counter stalls, tp, fp, fn, predicted_aborts;
+        sim::Counter stalls, tp, fp, fn, predicted_aborts, tn;
         for (const SitePrediction &site : sitePrediction_) {
             stalls.inc(site.predictedStalls.value());
             tp.inc(site.truePositives.value());
             fp.inc(site.falsePositives.value());
             fn.inc(site.falseNegatives.value());
             predicted_aborts.inc(site.predictedAborts.value());
+            tn.inc(site.trueNegatives.value());
         }
         PredictionQuality quality;
         quality.predictedStalls = stalls.value();
@@ -1000,14 +1060,18 @@ Simulation::visitStatGroups(
         quality.falsePositives = fp.value();
         quality.falseNegatives = fn.value();
         quality.predictedAborts = predicted_aborts.value();
+        quality.trueNegatives = tn.value();
         sim::StatGroup group("predictor.quality");
         group.addCounter("predictedStalls", &stalls);
         group.addCounter("truePositives", &tp);
         group.addCounter("falsePositives", &fp);
         group.addCounter("falseNegatives", &fn);
         group.addCounter("predictedAborts", &predicted_aborts);
+        group.addCounter("trueNegatives", &tn);
         group.addScalar("precision", quality.precision());
         group.addScalar("recall", quality.recall());
+        group.addScalar("f1", quality.f1());
+        group.addScalar("accuracy", quality.accuracy());
         visit(group);
     }
     // Contention manager.
@@ -1078,6 +1142,7 @@ Simulation::dumpStatsJson(sim::JsonWriter &jw) const
         total.falsePositives += site.falsePositives.value();
         total.falseNegatives += site.falseNegatives.value();
         total.predictedAborts += site.predictedAborts.value();
+        total.trueNegatives += site.trueNegatives.value();
     }
     jw.beginObject("predictor_quality");
     jw.kv("predictedStalls", total.predictedStalls);
@@ -1085,11 +1150,19 @@ Simulation::dumpStatsJson(sim::JsonWriter &jw) const
     jw.kv("falsePositives", total.falsePositives);
     jw.kv("falseNegatives", total.falseNegatives);
     jw.kv("predictedAborts", total.predictedAborts);
+    jw.kv("trueNegatives", total.trueNegatives);
     jw.kv("precision", total.precision());
     jw.kv("recall", total.recall());
+    jw.kv("f1", total.f1());
+    jw.kv("accuracy", total.accuracy());
     jw.beginArray("perSite");
     for (std::size_t s = 0; s < sitePrediction_.size(); ++s) {
         const SitePrediction &site = sitePrediction_[s];
+        PredictionQuality per_site;
+        per_site.truePositives = site.truePositives.value();
+        per_site.falsePositives = site.falsePositives.value();
+        per_site.falseNegatives = site.falseNegatives.value();
+        per_site.trueNegatives = site.trueNegatives.value();
         jw.beginObject();
         jw.kv("sTx", static_cast<std::uint64_t>(s));
         jw.kv("predictedStalls", site.predictedStalls.value());
@@ -1097,6 +1170,9 @@ Simulation::dumpStatsJson(sim::JsonWriter &jw) const
         jw.kv("falsePositives", site.falsePositives.value());
         jw.kv("falseNegatives", site.falseNegatives.value());
         jw.kv("predictedAborts", site.predictedAborts.value());
+        jw.kv("trueNegatives", site.trueNegatives.value());
+        jw.kv("f1", per_site.f1());
+        jw.kv("accuracy", per_site.accuracy());
         jw.endObject();
     }
     jw.endArray();
@@ -1139,6 +1215,11 @@ Simulation::sampleSnapshot(sim::SampleCounts &counts,
     } else if (const auto *ats =
                    dynamic_cast<const cm::AtsManager *>(cm_.get())) {
         gauges.conflictPressure = ats->meanPressure();
+    }
+
+    if (config_.quality != nullptr) {
+        gauges.calibrationBrier =
+            config_.quality->data().brierScore();
     }
 }
 
@@ -1246,6 +1327,8 @@ Simulation::run()
             site.falseNegatives.value();
         results.prediction.predictedAborts +=
             site.predictedAborts.value();
+        results.prediction.trueNegatives +=
+            site.trueNegatives.value();
     }
 
     for (const sim::Accumulator &acc : siteSim_)

@@ -124,6 +124,15 @@ class Simulation
         /** Enemy the *running* attempt was serialized behind; drives
          *  the prediction-quality classification at commit/abort. */
         htm::DTxId attemptSerializedOn = htm::kNoTx;
+        /** Confidence behind the most recent begin decision, in
+         *  [0, 1]; negative when the CM consulted none. */
+        double lastConfidence = -1.0;
+        /** Confidence behind the running attempt's begin decision
+         *  (frozen copy of lastConfidence at Proceed). */
+        double attemptConfidence = -1.0;
+        /** Begin-stall cycles accumulated by the running attempt;
+         *  the wasted-stall cost if the prediction was wrong. */
+        sim::Cycles attemptStallCycles = 0;
         /** Enemies already reported to the CM in this attempt.
          *  Ordered by dTxID so any future iteration (e.g. picking a
          *  victim among enemies) is deterministic by construction. */
@@ -252,6 +261,7 @@ class Simulation
         sim::Counter falsePositives;
         sim::Counter falseNegatives;
         sim::Counter predictedAborts;
+        sim::Counter trueNegatives;
     };
     std::vector<SitePrediction> sitePrediction_; // per sTxId
     /** Cycles wasted per aborted attempt (Fig. 5 "aborted" source). */

@@ -152,7 +152,7 @@ writeSweepResults(std::ostream &os, const SimResults &r)
     const PredictionQuality &p = r.prediction;
     os << "prediction " << p.predictedStalls << ' ' << p.truePositives
        << ' ' << p.falsePositives << ' ' << p.falseNegatives << ' '
-       << p.predictedAborts << '\n';
+       << p.predictedAborts << ' ' << p.trueNegatives << '\n';
     os << "similarity " << r.similarityPerSite.size();
     for (const double similarity : r.similarityPerSite)
         os << ' ' << num(similarity);
@@ -227,7 +227,8 @@ readSweepResults(std::istream &is, SimResults *r)
         || !readU64(is, &p.truePositives)
         || !readU64(is, &p.falsePositives)
         || !readU64(is, &p.falseNegatives)
-        || !readU64(is, &p.predictedAborts)) {
+        || !readU64(is, &p.predictedAborts)
+        || !readU64(is, &p.trueNegatives)) {
         return false;
     }
     std::uint64_t count = 0;
@@ -362,26 +363,38 @@ SweepRunner::runCell(std::size_t index)
         } else {
             const bool cached = !options_.cacheDir.empty();
             const std::string key = cached ? cellKey(cell) : "";
-            if (cached && readCache(key, &out.results)) {
+            // Quality sweeps skip cache *reads*: every cell must
+            // execute so every cell carries quality data and the
+            // report stays byte-identical across --jobs counts and
+            // cache temperatures. Cache writes still happen below.
+            if (cached && !options_.quality
+                && readCache(key, &out.results)) {
                 out.ok = true;
                 out.fromCache = true;
                 std::lock_guard<std::mutex> lock(mutex_);
                 ++stats_.cacheHits;
                 return;
             }
-            // One profiler per executed cell (never shared across
-            // workers); the Data snapshot is the cell's side channel.
+            // One profiler/recorder per executed cell (never shared
+            // across workers); the Data snapshots are the cell's
+            // side channels.
             sim::Profiler prof;
             sim::Profiler *profiler =
                 options_.profile ? &prof : nullptr;
+            sim::QualityRecorder qual;
+            sim::QualityRecorder *quality =
+                options_.quality ? &qual : nullptr;
             out.results =
                 cell.baseline
                     ? runSingleCoreBaseline(cell.workload,
-                                            cell.options, profiler)
+                                            cell.options, profiler,
+                                            quality)
                     : runStamp(cell.workload, cell.cm, cell.options,
-                               profiler);
+                               profiler, quality);
             if (profiler != nullptr)
                 out.profile = prof.data();
+            if (quality != nullptr)
+                out.quality = qual.data();
             if (cached)
                 writeCache(key, index, out.results);
         }
@@ -571,6 +584,71 @@ SweepRunner::writeProfileReport(std::ostream &os,
     agg(jw, "wallNsPerCycle", sim::minMedianMax(wall_ns_per_cycle));
     agg(jw, "eventsPerSec", sim::minMedianMax(events_per_sec));
     agg(jw, "wallNs", sim::minMedianMax(wall_ns));
+    jw.endObject();
+    jw.endObject();
+    os << "\n";
+}
+
+void
+SweepRunner::writeQualityReport(std::ostream &os,
+                                const std::string &name) const
+{
+    std::vector<double> brier;
+    std::vector<double> eq2_mean_abs;
+    std::vector<double> eq3_mean_abs;
+    std::vector<double> eq4_mean_abs;
+    std::vector<double> wasted_stall;
+    std::vector<double> saved_abort;
+    for (const SweepCellResult &result : results_) {
+        if (!result.quality.has_value())
+            continue;
+        const sim::QualityRecorder::Data &d = *result.quality;
+        brier.push_back(d.brierScore());
+        eq2_mean_abs.push_back(d.eq2SetSize.meanAbs());
+        eq3_mean_abs.push_back(d.eq3Intersection.meanAbs());
+        eq4_mean_abs.push_back(d.eq4Similarity.meanAbs());
+        wasted_stall.push_back(
+            static_cast<double>(d.wastedStallCycles));
+        saved_abort.push_back(
+            static_cast<double>(d.savedAbortCycles));
+    }
+    const auto agg = [](sim::JsonWriter &jw, const char *key,
+                        const sim::MinMedMax &m) {
+        jw.beginObject(key);
+        jw.kv("min", m.min);
+        jw.kv("median", m.median);
+        jw.kv("max", m.max);
+        jw.endObject();
+    };
+
+    sim::JsonWriter jw(os);
+    jw.beginObject();
+    jw.kv("schema", "bfgts-qual-v1");
+    jw.kv("kind", "sweep");
+    jw.kv("name", name);
+    jw.kv("git", sim::buildGitDescribe());
+    jw.kv("cellCount", static_cast<std::uint64_t>(cells_.size()));
+    jw.kv("qualityCells", static_cast<std::uint64_t>(brier.size()));
+    jw.beginArray("cells");
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+        const SweepCellResult &result = results_[i];
+        if (!result.quality.has_value())
+            continue;
+        jw.beginObject();
+        jw.kv("label", cellLabel(cells_[i]));
+        jw.beginObject("run");
+        result.quality->writeJson(jw);
+        jw.endObject();
+        jw.endObject();
+    }
+    jw.endArray();
+    jw.beginObject("aggregate");
+    agg(jw, "brierScore", sim::minMedianMax(brier));
+    agg(jw, "eq2MeanAbsError", sim::minMedianMax(eq2_mean_abs));
+    agg(jw, "eq3MeanAbsError", sim::minMedianMax(eq3_mean_abs));
+    agg(jw, "eq4MeanAbsError", sim::minMedianMax(eq4_mean_abs));
+    agg(jw, "wastedStallCycles", sim::minMedianMax(wasted_stall));
+    agg(jw, "savedAbortCycles", sim::minMedianMax(saved_abort));
     jw.endObject();
     jw.endObject();
     os << "\n";

@@ -35,6 +35,7 @@
 #include "runner/experiment.h"
 #include "runner/results.h"
 #include "sim/profiler.h"
+#include "sim/quality.h"
 
 namespace runner {
 
@@ -78,6 +79,14 @@ struct SweepCellResult {
      * writeProfileReport(), never into results or the cache.
      */
     std::optional<sim::Profiler::Data> profile;
+    /**
+     * Decision-quality data of the cell, present only when
+     * SweepOptions::quality was set. Unlike profile this is
+     * deterministic, so quality sweeps bypass cache *reads* (every
+     * cell executes and carries data; reports stay byte-identical
+     * across --jobs counts) while still writing the cache.
+     */
+    std::optional<sim::QualityRecorder::Data> quality;
 };
 
 /** Execution accounting for one run() (not part of the report);
@@ -106,6 +115,14 @@ struct SweepOptions {
      * are still served (profile-less) on a warm cache.
      */
     bool profile = false;
+    /**
+     * Attach a decision-quality recorder to every standard cell
+     * (--quality). Like profile, NOT part of cellKey(); but because
+     * quality data must be complete and deterministic, cache reads
+     * are skipped (cells always execute) while cache writes still
+     * happen for later quality-less runs.
+     */
+    bool quality = false;
 };
 
 /**
@@ -142,6 +159,16 @@ class SweepRunner
      * out of writeReport() and the byte-identity gates.
      */
     void writeProfileReport(std::ostream &os,
+                            const std::string &name) const;
+
+    /**
+     * Write the `bfgts-qual-v1` JSON report (kind "sweep") of the
+     * last run(): one row per quality-recorded cell plus
+     * min/median/max aggregates of brierScore and the Eq. 2-4 mean
+     * absolute errors. Fully deterministic -- byte-identical across
+     * BFGTS_HASH_SEED values and --jobs counts.
+     */
+    void writeQualityReport(std::ostream &os,
                             const std::string &name) const;
 
     /** Progress/report label of @p cell (default or explicit). */

@@ -139,6 +139,7 @@ Sampler::writeWindow(const TimeSeriesWindow &w)
     jw.kv("meanConfidence", w.gauges.meanConfidence);
     jw.kv("bloomOccupancy", w.gauges.bloomOccupancy);
     jw.kv("conflictPressure", w.gauges.conflictPressure);
+    jw.kv("calibrationBrier", w.gauges.calibrationBrier);
     jw.endObject();
     *config_.jsonl << '\n';
 }

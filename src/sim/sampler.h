@@ -70,6 +70,9 @@ struct SampleGauges {
     double bloomOccupancy = 0.0;
     /** Mean ATS-style conflict pressure over transaction sites. */
     double conflictPressure = 0.0;
+    /** Rolling Brier score of stall/go confidence vs conflict
+     *  outcome (0 outside --quality runs). */
+    double calibrationBrier = 0.0;
 };
 
 /** One emitted time-series window. */

@@ -27,6 +27,56 @@ TEST(Estimate, SaturatedFilterReturnsCeiling)
     EXPECT_DOUBLE_EQ(bloom::estimateSetSize(512, 512, 4), 512.0);
 }
 
+TEST(Estimate, RawOverloadWithNoBitsSetEstimatesZero)
+{
+    EXPECT_DOUBLE_EQ(bloom::estimateSetSize(0, 1024, 4), 0.0);
+}
+
+TEST(Estimate, SaturatedLiveFilterReturnsCeiling)
+{
+    // Drive a real filter to full saturation: the live-filter path
+    // must hit the same t == m ceiling as the raw overload instead of
+    // evaluating ln(0).
+    BloomFilter filter(BloomConfig{.numBits = 64, .numHashes = 4,
+                                   .seed = 13});
+    sim::Rng rng(14);
+    while (filter.popCount() < filter.numBits())
+        filter.insert(rng.next());
+    const double est = bloom::estimateSetSize(filter);
+    EXPECT_DOUBLE_EQ(est, static_cast<double>(filter.numBits()));
+    EXPECT_TRUE(std::isfinite(est));
+}
+
+TEST(Estimate, NearlySaturatedFilterIsFiniteAndLarge)
+{
+    // One bit shy of saturation is the worst-conditioned finite input
+    // to Eq. 2: the estimate must stay finite, positive, and can
+    // legitimately exceed the t == m ceiling of m (the ceiling is a
+    // saturation convention, not an upper bound of the estimator).
+    const double almost = bloom::estimateSetSize(511, 512, 4);
+    EXPECT_TRUE(std::isfinite(almost));
+    EXPECT_GT(almost, bloom::estimateSetSize(510, 512, 4));
+}
+
+TEST(Estimate, IntersectionOfSaturatedFiltersIsNonNegativeAndFinite)
+{
+    BloomConfig config{.numBits = 64, .numHashes = 4, .seed = 15};
+    BloomFilter a(config), b(config);
+    sim::Rng rng(16);
+    while (a.popCount() < a.numBits())
+        a.insert(rng.next());
+    while (b.popCount() < b.numBits())
+        b.insert(rng.next());
+    const double inter = bloom::estimateIntersectionSize(a, b);
+    EXPECT_TRUE(std::isfinite(inter));
+    EXPECT_GE(inter, 0.0);
+    // Saturated similarity still clamps to the unit interval even
+    // with a tiny Eq. 4 denominator.
+    const double sim = bloom::similarity(a, b, 1.0);
+    EXPECT_GE(sim, 0.0);
+    EXPECT_LE(sim, 1.0);
+}
+
 TEST(Estimate, SingleKeyEstimatesAboutOne)
 {
     BloomFilter filter(BloomConfig{.numBits = 1024, .numHashes = 4,

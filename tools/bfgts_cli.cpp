@@ -46,6 +46,16 @@
  *                     artifact stays byte-identical with or without
  *                     it. With --trace-chrome, host phase totals also
  *                     land as counter tracks on the timeline.
+ *   --quality FILE    write the bfgts-qual-v1 decision-quality report
+ *                     (Eq. 2-4 estimator-error histograms, confidence
+ *                     reliability table with Brier score, per-pair
+ *                     stall cost-benefit ledger;
+ *                     docs/observability.md). Purely observational:
+ *                     results stay byte-identical with or without it,
+ *                     and the report itself is deterministic.
+ *   --quality-jsonl F write the per-decision quality ledger as JSON
+ *                     Lines (one line per classified begin outcome);
+ *                     implies quality recording
  *   --list            list workloads and managers, then exit
  *
  * Sweep mode (runner::SweepRunner; docs/architecture.md):
@@ -67,6 +77,12 @@
  *                     min/median/max aggregates. Never part of the
  *                     cache key; the bfgts-sweep-v1 report stays
  *                     byte-identical with or without it.
+ *   --quality FILE    write the bfgts-qual-v1 sweep report: per-cell
+ *                     decision-quality rows plus min/median/max
+ *                     aggregates. Never part of the cache key; cache
+ *                     reads are skipped so every cell carries data
+ *                     and the report is byte-identical across --jobs
+ *                     counts. (--quality-jsonl is single-run only.)
  *   (--cpus/--tpc/--tx/--bloom-bits/--interval/--slots set the base
  *    configuration of every cell)
  */
@@ -88,6 +104,7 @@
 #include "sim/chrome_trace.h"
 #include "sim/json.h"
 #include "sim/profiler.h"
+#include "sim/quality.h"
 #include "sim/sampler.h"
 #include "sim/trace.h"
 #include "workloads/splash2.h"
@@ -134,11 +151,13 @@ usage(const char *argv0)
                  "[--trace-cats tx,sched,cm,predictor,mem,audit]\n"
                  "          [--trace-chrome FILE] [--ts FILE] "
                  "[--ts-interval N] [--conflict-dot FILE]\n"
-                 "          [--profile FILE] [--list]\n"
+                 "          [--profile FILE] [--quality FILE] "
+                 "[--quality-jsonl FILE] [--list]\n"
                  "   sweep: %s --sweep [--workloads A,B] [--cms X,Y] "
                  "[--seeds 1,2]\n"
                  "          [--jobs N] [--cache DIR] [--baselines] "
-                 "[--json FILE] [--profile FILE]\n",
+                 "[--json FILE] [--profile FILE]\n"
+                 "          [--quality FILE]\n",
                  argv0, argv0);
     std::exit(1);
 }
@@ -309,7 +328,8 @@ runSweep(const std::vector<std::string> &workload_names,
          const runner::RunOptions &base, bool with_baselines,
          int jobs, const std::string &cache_dir,
          const std::string &json_path,
-         const std::string &profile_path, const char *argv0)
+         const std::string &profile_path,
+         const std::string &quality_path, const char *argv0)
 {
     std::vector<std::string> workload_list = workload_names;
     if (workload_list.empty())
@@ -368,6 +388,7 @@ runSweep(const std::vector<std::string> &workload_names,
     sweep_options.cacheDir = cache_dir;
     sweep_options.progress = &std::cerr;
     sweep_options.profile = !profile_path.empty();
+    sweep_options.quality = !quality_path.empty();
     runner::SweepRunner sweep(sweep_options);
     sweep.run(cells);
 
@@ -395,6 +416,15 @@ runSweep(const std::vector<std::string> &workload_names,
             return 1;
         }
         sweep.writeProfileReport(profile_file, "cli-sweep");
+    }
+    if (!quality_path.empty()) {
+        std::ofstream quality_file(quality_path);
+        if (!quality_file) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         quality_path.c_str());
+            return 1;
+        }
+        sweep.writeQualityReport(quality_file, "cli-sweep");
     }
     return stats.errors == 0 ? 0 : 1;
 }
@@ -480,6 +510,8 @@ main(int argc, char **argv)
     sim::Tick ts_interval = 10'000;
     std::string dot_path;
     std::string profile_path;
+    std::string quality_path;
+    std::string quality_jsonl_path;
 
     bool sweep_mode = false;
     bool sweep_baselines = false;
@@ -548,6 +580,10 @@ main(int argc, char **argv)
             dot_path = next();
         } else if (arg == "--profile") {
             profile_path = next();
+        } else if (arg == "--quality") {
+            quality_path = next();
+        } else if (arg == "--quality-jsonl") {
+            quality_jsonl_path = next();
         } else if (arg == "--sweep") {
             sweep_mode = true;
         } else if (arg == "--workloads") {
@@ -577,7 +613,8 @@ main(int argc, char **argv)
         base.audit = config.audit;
         return runSweep(sweep_workloads, sweep_cms, sweep_seeds, base,
                         sweep_baselines, sweep_jobs, sweep_cache,
-                        json_path, profile_path, argv[0]);
+                        json_path, profile_path, quality_path,
+                        argv[0]);
     }
 
     config.cm = cm::cmKindFromName(manager);
@@ -667,6 +704,24 @@ main(int argc, char **argv)
             profiler.setCounterSink(chrome_sink.get());
     }
 
+    // Decision-quality recording (--quality / --quality-jsonl).
+    // Deterministic observer; --quality-jsonl alone still attaches
+    // the recorder so the ledger lines get written.
+    sim::QualityRecorder quality;
+    std::ofstream quality_jsonl_file;
+    if (!quality_path.empty() || !quality_jsonl_path.empty()) {
+        config.quality = &quality;
+        if (!quality_jsonl_path.empty()) {
+            quality_jsonl_file.open(quality_jsonl_path);
+            if (!quality_jsonl_file) {
+                std::fprintf(stderr, "cannot open %s\n",
+                             quality_jsonl_path.c_str());
+                return 1;
+            }
+            quality.setJsonlSink(&quality_jsonl_file);
+        }
+    }
+
     runner::Simulation simulation(config);
     const runner::SimResults r = simulation.run();
 
@@ -736,6 +791,17 @@ main(int argc, char **argv)
             return 1;
         }
         profiler.writeReport(profile_file, r.workload + "-" + r.cm);
+    }
+
+    if (!quality_path.empty()) {
+        std::ofstream quality_file(quality_path);
+        if (!quality_file) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         quality_path.c_str());
+            return 1;
+        }
+        sim::writeQualReport(quality_file, r.workload + "-" + r.cm,
+                             quality.data());
     }
 
     if (with_baseline) {

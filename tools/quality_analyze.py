@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""Analyze and cross-check a bfgts-qual-v1 decision-quality report.
+
+Given the quality report and the bfgts-obs-v1 report of the *same*
+run, verifies the invariants that tie the two together:
+
+  - ledger totals (TP/FP/FN/TN/predicted-abort) equal the obs-v1
+    predictor_quality counters -- the recorder and the runner classify
+    every begin decision identically;
+  - fnWastedCycles + predictedAbortWastedCycles equals the sum of
+    wastedCycles over every obs-v1 conflict edge -- abort attribution
+    in the quality ledger mirrors the conflict-graph accounting
+    exactly (both charge the attempt's cycles to the same
+    (winner, victim) edge);
+  - the per-pair rows sum to the totals (exactly when no events were
+    dropped from the bounded ledger, as a lower bound otherwise);
+  - the calibration table is consistent: per-bin decisions sum to the
+    Brier sample count, and no bin has more conflicts or stalls than
+    decisions.
+
+With --jsonl, also replays the per-decision ledger stream and checks
+that its outcome counts and cycle sums reproduce the report totals.
+
+Prints a human summary (estimator error, reliability table, the top
+pairs by wasted-stall and saved-abort cycles) and exits non-zero on
+the first violated invariant. Stdlib only.
+
+Usage:
+  quality_analyze.py QUAL.json --obs OBS.json [--jsonl LEDGER.jsonl]
+  quality_analyze.py QUAL.json            # summary only, no checks
+"""
+
+import argparse
+import json
+import sys
+
+CHECKED = {"truePositives", "falsePositives", "falseNegatives",
+           "trueNegatives", "predictedAborts"}
+CYCLE_FIELDS = {"tp": "savedAbortCycles", "fp": "wastedStallCycles",
+                "fn": "fnWastedCycles",
+                "predicted_abort": "predictedAbortWastedCycles"}
+OUTCOME_FIELDS = {"tp": "truePositives", "fp": "falsePositives",
+                  "fn": "falseNegatives", "tn": "trueNegatives",
+                  "predicted_abort": "predictedAborts"}
+
+
+def fail(msg):
+    print(f"quality_analyze: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"{path}: cannot load ({exc})")
+
+
+def quality_body(doc, path):
+    check(doc.get("schema") == "bfgts-qual-v1",
+          f"{path}: schema is {doc.get('schema')!r}, "
+          "want 'bfgts-qual-v1'")
+    check(doc.get("kind") == "run",
+          f"{path}: kind is {doc.get('kind')!r}; cross-checking "
+          "needs a single-run report (sweep reports aggregate many "
+          "runs)")
+    return doc["run"]
+
+
+def cross_check_obs(qual, obs, qual_path, obs_path):
+    pq = obs.get("predictor_quality")
+    check(pq is not None, f"{obs_path}: no predictor_quality")
+    totals = qual["ledger"]["totals"]
+    for field in sorted(CHECKED):
+        check(totals[field] == pq[field],
+              f"ledger totals.{field} {totals[field]} != obs-v1 "
+              f"predictor_quality {field} {pq[field]}")
+
+    edges = obs.get("conflict_edges")
+    check(edges is not None, f"{obs_path}: no conflict_edges")
+    edge_wasted = sum(e["wastedCycles"] for e in edges["edges"])
+    abort_wasted = (totals["fnWastedCycles"]
+                    + totals["predictedAbortWastedCycles"])
+    check(abort_wasted == edge_wasted,
+          f"abort-attributed cycles {abort_wasted} (fn "
+          f"{totals['fnWastedCycles']} + predicted-abort "
+          f"{totals['predictedAbortWastedCycles']}) != conflict-edge "
+          f"wastedCycles sum {edge_wasted}")
+
+    print(f"quality_analyze: {qual_path} consistent with {obs_path} "
+          f"(outcome totals match; {abort_wasted} abort cycles "
+          "reconciled against the conflict graph)")
+
+
+def self_check(qual):
+    ledger = qual["ledger"]
+    totals = ledger["totals"]
+    dropped = ledger["droppedEvents"]
+    for field in sorted(set(OUTCOME_FIELDS.values())
+                        | set(CYCLE_FIELDS.values())):
+        if field == "trueNegatives":
+            continue  # never pair-attributed (no enemy)
+        pair_sum = sum(p[field] for p in ledger["pairs"])
+        check(pair_sum <= totals[field],
+              f"pair {field} sum {pair_sum} exceeds total "
+              f"{totals[field]}")
+        if dropped == 0:
+            check(pair_sum == totals[field],
+                  f"pair {field} sum {pair_sum} != total "
+                  f"{totals[field]} with no dropped events")
+
+    cal = qual["calibration"]
+    decisions = 0
+    for i, row in enumerate(cal["reliability"]):
+        check(row["stalls"] <= row["decisions"],
+              f"reliability[{i}]: more stalls than decisions")
+        check(row["conflicts"] <= row["decisions"],
+              f"reliability[{i}]: more conflicts than decisions")
+        decisions += row["decisions"]
+    check(decisions == cal["samples"],
+          f"reliability decisions {decisions} != calibration "
+          f"samples {cal['samples']}")
+    classified = sum(totals[f] for f in sorted(CHECKED))
+    check(cal["samples"] <= classified,
+          f"calibration samples {cal['samples']} exceed classified "
+          f"outcomes {classified}")
+
+
+def replay_jsonl(path, qual):
+    totals = qual["ledger"]["totals"]
+    counts = {name: 0 for name in OUTCOME_FIELDS}
+    cycles = {name: 0 for name in CYCLE_FIELDS}
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                fail(f"{path}:{lineno}: invalid JSON ({exc})")
+            outcome = record["outcome"]
+            check(outcome in OUTCOME_FIELDS,
+                  f"{path}:{lineno}: bad outcome {outcome!r}")
+            counts[outcome] += 1
+            if outcome in cycles:
+                cycles[outcome] += record["cycles"]
+    for outcome, field in sorted(OUTCOME_FIELDS.items()):
+        check(counts[outcome] == totals[field],
+              f"{path}: {counts[outcome]} '{outcome}' lines != "
+              f"totals.{field} {totals[field]}")
+    for outcome, field in sorted(CYCLE_FIELDS.items()):
+        check(cycles[outcome] == totals[field],
+              f"{path}: '{outcome}' cycles {cycles[outcome]} != "
+              f"totals.{field} {totals[field]}")
+    print(f"quality_analyze: {path} replays to the report totals "
+          f"({sum(counts.values())} decisions)")
+
+
+def summarize(qual):
+    est = qual["estimator"]
+    print(f"estimator ({est['samples']} samples):")
+    for eq in ("eq2_set_size", "eq3_intersection", "eq4_similarity"):
+        s = est[eq]
+        print(f"  {eq:<16} n={s['count']:<6} "
+              f"meanSigned={s['meanSigned']:+.4f} "
+              f"meanAbs={s['meanAbs']:.4f} maxAbs={s['maxAbs']:.4f}")
+    cal = qual["calibration"]
+    print(f"calibration ({cal['samples']} samples, "
+          f"Brier {cal['brierScore']:.4f}):")
+    print("  bin          decisions  stalls  conflictRate")
+    for row in cal["reliability"]:
+        if row["decisions"] == 0:
+            continue
+        print(f"  [{row['lo']:.1f},{row['hi']:.1f})"
+              f"   {row['decisions']:>9}  {row['stalls']:>6}"
+              f"  {row['conflictRate']:>12.3f}")
+    ledger = qual["ledger"]
+    totals = ledger["totals"]
+    print("ledger totals: "
+          f"TP={totals['truePositives']} "
+          f"FP={totals['falsePositives']} "
+          f"FN={totals['falseNegatives']} "
+          f"TN={totals['trueNegatives']} "
+          f"PA={totals['predictedAborts']}")
+    print(f"  wasted stall   {totals['wastedStallCycles']:>10} cycles")
+    print(f"  saved abort    {totals['savedAbortCycles']:>10} cycles")
+    print(f"  fn wasted      {totals['fnWastedCycles']:>10} cycles")
+    print("  pa wasted      "
+          f"{totals['predictedAbortWastedCycles']:>10} cycles")
+    pairs = ledger["pairs"]
+    if pairs:
+        worst = sorted(pairs, key=lambda p: (-p["wastedStallCycles"],
+                                             p["enemy"], p["victim"]))
+        best = sorted(pairs, key=lambda p: (-p["savedAbortCycles"],
+                                            p["enemy"], p["victim"]))
+        print("top pairs by wasted stall / saved abort cycles:")
+        for p in worst[:3]:
+            print(f"  ({p['enemy']},{p['victim']}) wastedStall="
+                  f"{p['wastedStallCycles']} FP={p['falsePositives']}")
+        for p in best[:3]:
+            print(f"  ({p['enemy']},{p['victim']}) savedAbort="
+                  f"{p['savedAbortCycles']} TP={p['truePositives']}")
+    if ledger["droppedEvents"]:
+        print(f"  NOTE: {ledger['droppedEvents']} events dropped "
+              f"(ledger bounded at {ledger['maxPairs']} pairs)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("qual", help="bfgts-qual-v1 run report")
+    parser.add_argument("--obs",
+                        help="bfgts-obs-v1 report of the same run "
+                             "to cross-check against")
+    parser.add_argument("--jsonl",
+                        help="--quality-jsonl ledger of the same run "
+                             "to replay against the totals")
+    parser.add_argument("--quiet", action="store_true",
+                        help="checks only, no summary")
+    args = parser.parse_args()
+
+    qual = quality_body(load(args.qual), args.qual)
+    self_check(qual)
+    if args.obs:
+        cross_check_obs(qual, load(args.obs), args.qual, args.obs)
+    if args.jsonl:
+        replay_jsonl(args.jsonl, qual)
+    if not args.quiet:
+        summarize(qual)
+    print("quality_analyze: OK")
+
+
+if __name__ == "__main__":
+    main()

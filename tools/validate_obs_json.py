@@ -3,10 +3,11 @@
 
 Every document is validated twice: first against the formal JSON
 Schema checked in under docs/schemas/ (bfgts-obs-v1, bfgts-ts-v1,
-bfgts-sweep-v1, bfgts-prof-v1), then by the hand-written semantic
-checks below that a schema cannot express (fraction sums, cross-line
-window chaining, sorted top-N lists, balanced trace slices, profile
-shares summing to the run loop).
+bfgts-sweep-v1, bfgts-prof-v1, bfgts-qual-v1), then by the
+hand-written semantic checks below that a schema cannot express
+(fraction sums, cross-line window chaining, sorted top-N lists,
+balanced trace slices, profile shares summing to the run loop,
+quality histogram totals and reliability-table consistency).
 
 Three modes:
 
@@ -61,7 +62,7 @@ TS_WINDOW_KEYS = {
     "window", "start", "end", "commits", "aborts", "conflicts",
     "predictedStalls", "stallTimeouts", "abortRate", "cpusRunning",
     "cpusStalled", "readyQueueDepth", "meanConfidence",
-    "bloomOccupancy", "conflictPressure",
+    "bloomOccupancy", "conflictPressure", "calibrationBrier",
 }
 TIMESERIES_KEYS = {
     "interval", "windows", "peakAbortRate", "meanAbortRate",
@@ -272,10 +273,10 @@ def check_run(doc, where):
 
     quality = doc["predictor_quality"]
     for key in ("predictedStalls", "truePositives", "falsePositives",
-                "falseNegatives", "predictedAborts", "precision",
-                "recall", "perSite"):
+                "falseNegatives", "trueNegatives", "predictedAborts",
+                "precision", "recall", "f1", "accuracy", "perSite"):
         check(key in quality, f"{where}: predictor_quality lacks '{key}'")
-    for metric in ("precision", "recall"):
+    for metric in ("precision", "recall", "f1", "accuracy"):
         check(0.0 <= quality[metric] <= 1.0,
               f"{where}: {metric} {quality[metric]} out of [0,1]")
     check(isinstance(quality["perSite"], list),
@@ -363,6 +364,122 @@ def check_prof(doc, where):
         check(agg["min"] <= agg["median"] <= agg["max"],
               f"{where}: aggregate.{metric} not ordered "
               f"min<=median<=max")
+
+
+def check_qual_run(qual, where):
+    """Semantic checks of one bfgts-qual-v1 quality object."""
+    est = qual["estimator"]
+    for eq in ("eq2_set_size", "eq3_intersection", "eq4_similarity"):
+        stats = est[eq]
+        w = f"{where}: {eq}"
+        check_histogram(stats["hist"], w)
+        check(stats["meanAbs"] <= stats["maxAbs"] + 1e-12,
+              f"{w}: meanAbs exceeds maxAbs")
+        check(abs(stats["meanSigned"]) <= stats["meanAbs"] + 1e-12,
+              f"{w}: |meanSigned| exceeds meanAbs")
+        for axis in ("byTrueSetSize", "byOccupancy"):
+            total = sum(bucket["n"] for bucket in stats[axis])
+            check(total == stats["count"],
+                  f"{w}: {axis} counts {total} != count "
+                  f"{stats['count']}")
+    check(est["eq2_set_size"]["count"] == est["samples"],
+          f"{where}: eq2 count != estimator samples")
+    check(est["eq3_intersection"]["count"] <= est["samples"],
+          f"{where}: eq3 count exceeds estimator samples")
+    check(est["eq3_intersection"]["count"]
+          == est["eq4_similarity"]["count"],
+          f"{where}: eq3 and eq4 sample counts differ")
+
+    cal = qual["calibration"]
+    check(cal["bins"] >= 8, f"{where}: fewer than 8 calibration bins")
+    check(len(cal["reliability"]) == cal["bins"],
+          f"{where}: reliability table length != bins")
+    decisions = 0
+    for i, row in enumerate(cal["reliability"]):
+        w = f"{where}: reliability[{i}]"
+        check(row["lo"] < row["hi"], f"{w}: bin edges out of order")
+        check(row["stalls"] <= row["decisions"],
+              f"{w}: more stalls than decisions")
+        check(row["conflicts"] <= row["decisions"],
+              f"{w}: more conflicts than decisions")
+        if row["decisions"] > 0:
+            # Samples land in a bin by predicted confidence, so the
+            # bin mean must fall inside (the last bin is closed).
+            hi = row["hi"] + (1e-12 if i == cal["bins"] - 1 else 0)
+            check(row["lo"] - 1e-12 <= row["meanConfidence"] <= hi,
+                  f"{w}: meanConfidence outside the bin")
+        decisions += row["decisions"]
+    check(decisions == cal["samples"],
+          f"{where}: reliability decisions {decisions} != samples "
+          f"{cal['samples']}")
+
+    ledger = qual["ledger"]
+    totals = ledger["totals"]
+    check(len(ledger["pairs"]) <= ledger["maxPairs"],
+          f"{where}: more pairs than maxPairs")
+    keys = [(p["enemy"], p["victim"]) for p in ledger["pairs"]]
+    check(keys == sorted(keys), f"{where}: pairs not in key order")
+    check(len(keys) == len(set(keys)), f"{where}: duplicate pairs")
+    for field in ("truePositives", "falsePositives", "falseNegatives",
+                  "predictedAborts", "wastedStallCycles",
+                  "savedAbortCycles", "fnWastedCycles",
+                  "predictedAbortWastedCycles"):
+        pair_sum = sum(p[field] for p in ledger["pairs"])
+        check(pair_sum <= totals[field],
+              f"{where}: pair {field} sum {pair_sum} exceeds total "
+              f"{totals[field]}")
+        if ledger["droppedEvents"] == 0 \
+                and field in ("truePositives", "falsePositives"):
+            # TP/FP always name an enemy, so with no drops the pairs
+            # account for every one of them.
+            check(pair_sum == totals[field],
+                  f"{where}: pair {field} sum {pair_sum} != total "
+                  f"{totals[field]} with no dropped events")
+
+
+def check_qual(doc, where):
+    validate_schema(doc, "bfgts-qual-v1", where)
+    if doc["kind"] == "run":
+        check_qual_run(doc["run"], f"{where}: run")
+        return
+    check(doc["qualityCells"] == len(doc["cells"]),
+          f"{where}: qualityCells {doc['qualityCells']} != "
+          f"{len(doc['cells'])} cells")
+    check(doc["qualityCells"] <= doc["cellCount"],
+          f"{where}: more quality cells than cells")
+    for cell in doc["cells"]:
+        check_qual_run(cell["run"], f"{where}: {cell['label']}")
+    for metric, agg in doc["aggregate"].items():
+        check(agg["min"] <= agg["median"] <= agg["max"],
+              f"{where}: aggregate.{metric} not ordered "
+              f"min<=median<=max")
+
+
+QUAL_LEDGER_KEYS = {"tick", "enemy", "victim", "confidence",
+                    "outcome", "stalled", "conflict", "cycles"}
+QUAL_OUTCOMES = {"tp", "fp", "fn", "predicted_abort", "tn"}
+
+
+def check_qual_jsonl(path):
+    """Shape-check a --quality-jsonl per-decision ledger stream."""
+    with open(path, "rb") as fh:
+        lines = fh.read().splitlines()
+    check(lines, f"{path}: empty quality ledger")
+    prev_tick = 0
+    for i, line in enumerate(lines, start=1):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            fail(f"{path}:{i}: invalid JSON ({exc})")
+        missing = QUAL_LEDGER_KEYS - record.keys()
+        check(not missing, f"{path}:{i}: lacks {sorted(missing)}")
+        check(record["outcome"] in QUAL_OUTCOMES,
+              f"{path}:{i}: bad outcome {record['outcome']!r}")
+        check(record["tick"] >= prev_tick,
+              f"{path}:{i}: ticks not monotonic")
+        check(record["confidence"] <= 1.0,
+              f"{path}:{i}: confidence above 1")
+        prev_tick = record["tick"]
 
 
 def check_trace_jsonl(path):
@@ -527,6 +644,30 @@ def mode_cli(cli, workdir):
             check(fh.read() == outputs[0][kind],
                   f"{kind} output changed under --profile")
 
+    # --quality must be equally additive, and unlike --profile its
+    # own artifacts are deterministic: two hash seeds must produce
+    # byte-identical bfgts-qual-v1 reports and JSONL ledgers.
+    qual_blobs = []
+    for seed in ("0x0123456789abcdef", "0xfedcba9876543210"):
+        qual_json = os.path.join(workdir, f"qual-{seed}.json")
+        qual_jsonl = os.path.join(workdir, f"qual-{seed}.jsonl")
+        obs_json = os.path.join(workdir, f"qual-obs-{seed}.json")
+        run([cli, *CLI_ARGS,
+             "--json", obs_json,
+             "--quality", qual_json,
+             "--quality-jsonl", qual_jsonl],
+            env_extra={"BFGTS_HASH_SEED": seed})
+        check_qual(load(qual_json), qual_json)
+        check_qual_jsonl(qual_jsonl)
+        with open(obs_json, "rb") as fh:
+            check(fh.read() == outputs[0]["json"],
+                  "obs report changed under --quality")
+        with open(qual_json, "rb") as fh_a, \
+                open(qual_jsonl, "rb") as fh_b:
+            qual_blobs.append((fh_a.read(), fh_b.read()))
+    check(qual_blobs[0] == qual_blobs[1],
+          "quality artifacts differ across BFGTS_HASH_SEED values")
+
     # A small sweep matrix exercises the third schema end to end;
     # rerun it with --profile and require the bfgts-sweep-v1 report
     # byte-identical (the profile is a separate side channel).
@@ -546,10 +687,32 @@ def mode_cli(cli, workdir):
         check(fh_a.read() == fh_b.read(),
               "sweep report changed under --profile")
 
+    # Same for --quality, plus --jobs independence: the bfgts-qual-v1
+    # sweep report is deterministic, so 1 worker and 4 workers must
+    # produce it byte-for-byte.
+    sweep_qual_blobs = []
+    for jobs in ("1", "4"):
+        sweep_qual_path = os.path.join(workdir,
+                                       f"sweep-qual-{jobs}.json")
+        sweep_quality = os.path.join(workdir,
+                                     f"sweep-quality-{jobs}.json")
+        run(sweep_args + ["--jobs", jobs,
+                          "--json", sweep_qual_path,
+                          "--quality", sweep_quality])
+        check_qual(load(sweep_quality), sweep_quality)
+        with open(sweep_qual_path, "rb") as fh_a, \
+                open(sweep_path, "rb") as fh_b:
+            check(fh_a.read() == fh_b.read(),
+                  "sweep report changed under --quality")
+        with open(sweep_quality, "rb") as fh:
+            sweep_qual_blobs.append(fh.read())
+    check(sweep_qual_blobs[0] == sweep_qual_blobs[1],
+          "sweep quality report differs across --jobs counts")
+
     print("validate_obs_json: cli OK (report, trace, time series, "
           "chrome timeline, and conflict DOT all byte-identical "
-          "across hash seeds and under --profile; sweep and prof "
-          "reports schema-valid)")
+          "across hash seeds and under --profile/--quality; sweep, "
+          "prof, and qual reports schema-valid)")
 
 
 def mode_bench(bench, workdir):
@@ -575,6 +738,8 @@ def main():
         doc = load(path)
         if doc.get("schema") == "bfgts-prof-v1":
             check_prof(doc, path)
+        elif doc.get("schema") == "bfgts-qual-v1":
+            check_qual(doc, path)
         elif doc.get("kind") == "sweep":
             check_sweep(doc, path)
         else:
