@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Distributed sweep farm: shard a sweep across processes/machines and
+ * merge the pieces back into the byte-identical single-machine report.
+ *
+ * A Farm wraps a SweepRunner and adds three things:
+ *
+ *  - **Static sharding.** shardIndices() partitions the cell list of
+ *    a sweep into N disjoint, order-preserving, covering slices; a
+ *    worker runs `--shard i/N` and emits a partial `bfgts-sweep-v1`
+ *    report whose `shard` manifest records the matrix digest, shard
+ *    coordinates, and the global cell-index ranges it covers.
+ *
+ *  - **Filesystem work-stealing.** With a shared queue directory,
+ *    heterogeneous workers claim cells one lease file at a time
+ *    (O_CREAT|O_EXCL is atomic on a POSIX filesystem, including NFS
+ *    with modern clients), mark them done, and reclaim leases whose
+ *    mtime is older than a staleness bound (a crashed worker's
+ *    claims). Every worker emits a partial report covering exactly
+ *    the cells it ran.
+ *
+ *  - **Byte-identical merge.** mergeSweepReports() validates that a
+ *    set of partial reports came from the same matrix (digest,
+ *    totalCells, name, git), that their ranges are disjoint and
+ *    cover the matrix, and re-emits the cells in global index order.
+ *    Because partials carry each cell's original JSON (numbers kept
+ *    as raw lexemes via sim/json_parse.h), the merged document is
+ *    byte-identical to what a single `SweepRunner --jobs N` run
+ *    would have written.
+ *
+ * Crash-resume needs no extra machinery: completed cells land in the
+ * shared content-addressed cache (multi-process-safe writers, see
+ * SweepRunner::writeCache), so re-running a killed shard re-executes
+ * only the cells missing from the cache.
+ *
+ * Custom cells (SweepCell::custom) have no configuration to digest
+ * and cannot participate in a farm; run() rejects them.
+ */
+
+#ifndef BFGTS_RUNNER_FARM_H
+#define BFGTS_RUNNER_FARM_H
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "runner/sweep.h"
+
+namespace runner {
+
+/** How to execute one farm worker. */
+struct FarmOptions {
+    /** Execution options for the wrapped SweepRunner. For resume and
+     *  work sharing, sweep.cacheDir should point at storage shared by
+     *  every worker of the farm. profile/quality are unsupported in
+     *  farm runs (partial side-channel reports do not merge). */
+    SweepOptions sweep;
+
+    /** Static mode: this worker's shard, 0 <= shardIndex < shardCount.
+     *  Ignored when stealDir is set. */
+    int shardIndex = 0;
+    int shardCount = 1;
+
+    /** Work-stealing mode: shared queue directory (created on
+     *  demand). Empty selects static mode. */
+    std::string stealDir;
+    /** Reclaim another worker's lease once its mtime is older than
+     *  this many seconds (a crashed worker's claim). */
+    int stealStaleSec = 900;
+    /** Attempts when an O_EXCL claim keeps racing (exponential
+     *  backoff between tries) before skipping the cell. */
+    int stealMaxRetries = 6;
+};
+
+/**
+ * One sweep-farm worker; see the file comment. Like SweepRunner, a
+ * Farm can run() multiple matrices; accessors describe the most
+ * recent run.
+ */
+class Farm
+{
+  public:
+    explicit Farm(FarmOptions options = {});
+
+    /**
+     * Global cell indices of shard @p shard_index out of
+     * @p shard_count over a @p cell_count-cell matrix: contiguous,
+     * balanced (sizes differ by at most one), in ascending order.
+     * Disjoint across shards; the union over all shards is exactly
+     * [0, cell_count). Pure arithmetic -- independent of
+     * BFGTS_HASH_SEED, worker counts, and cell contents.
+     */
+    static std::vector<std::size_t> shardIndices(std::size_t cell_count,
+                                                 int shard_index,
+                                                 int shard_count);
+
+    /**
+     * Digest identifying the full cell matrix (order-sensitive FNV-1a
+     * over every cell's cellKey). Workers refuse to merge or steal
+     * across differing digests. Throws std::invalid_argument on
+     * custom cells.
+     */
+    static std::string matrixDigest(const std::vector<SweepCell> &cells);
+
+    /**
+     * Run this worker's share of @p cells (the full matrix; every
+     * worker must pass the identical list). Returns the results of
+     * the claimed cells, parallel to claimed(). Throws
+     * std::invalid_argument on custom cells or invalid options, and
+     * std::runtime_error when a steal queue belongs to a different
+     * matrix.
+     */
+    std::vector<SweepCellResult> run(const std::vector<SweepCell> &cells);
+
+    /** Global indices of the cells this worker ran, ascending. */
+    const std::vector<std::size_t> &claimed() const { return claimed_; }
+
+    /** Execution accounting of the wrapped SweepRunner. */
+    const SweepStats &stats() const { return stats_; }
+
+    /**
+     * Write the partial `bfgts-sweep-v1` report of the last run():
+     * the standard preamble, a `shard` manifest, and the claimed
+     * cells in global index order.
+     */
+    void writeReport(std::ostream &os, const std::string &name) const;
+
+  private:
+    FarmOptions options_;
+    SweepStats stats_;
+    std::string digest_;
+    std::size_t totalCells_ = 0;
+    std::vector<std::size_t> claimed_;
+    std::vector<SweepCell> claimedCells_;
+    std::vector<SweepCellResult> results_;
+};
+
+/**
+ * Merge partial shard reports (file paths) into the byte-identical
+ * single-machine `bfgts-sweep-v1` report on @p os. Validates matrix
+ * agreement (digest, totalCells, name, git), range disjointness, and
+ * full coverage. Returns false (leaving @p os untouched) with a
+ * message in @p error on any inconsistency.
+ */
+bool mergeSweepReports(const std::vector<std::string> &paths,
+                       std::ostream &os, std::string *error);
+
+} // namespace runner
+
+#endif // BFGTS_RUNNER_FARM_H

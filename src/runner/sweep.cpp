@@ -9,17 +9,16 @@
 #include <sstream>
 #include <utility>
 
+#include <unistd.h>
+
 #include "sim/audit.h"
 #include "sim/json.h"
 #include "sim/thread_pool.h"
 
 namespace runner {
 
-namespace {
-
-/** FNV-1a 64 over @p s, as 16 hex digits (cache file names). */
 std::string
-fnv1aHex(const std::string &s)
+sweepDigestHex(const std::string &s)
 {
     std::uint64_t hash = 1469598103934665603ULL;
     for (const char c : s) {
@@ -31,6 +30,8 @@ fnv1aHex(const std::string &s)
                   static_cast<unsigned long long>(hash));
     return buf;
 }
+
+namespace {
 
 void
 appendBloom(std::ostream &os, const bloom::BloomConfig &bloom)
@@ -335,8 +336,22 @@ SweepRunner::run(const std::vector<SweepCell> &cells)
     cells_ = cells;
     results_.assign(cells.size(), SweepCellResult{});
     stats_ = SweepStats{};
-    if (!options_.cacheDir.empty())
+    if (!options_.cacheDir.empty()) {
         std::filesystem::create_directories(options_.cacheDir);
+        // The -dirty suffix cannot distinguish successive dirty
+        // states, so a warm cache may silently serve results from a
+        // *different* uncommitted model. Loud warning, and the report
+        // carries gitDirty so merged farm runs can't hide it.
+        if (sim::buildGitDirty()) {
+            std::fprintf(stderr,
+                         "sweep: WARNING: cache key embeds dirty "
+                         "'%s'; cached cells may predate current "
+                         "uncommitted changes -- clear %s when "
+                         "iterating\n",
+                         sim::buildGitDescribe(),
+                         options_.cacheDir.c_str());
+        }
+    }
 
     sim::ThreadPool pool(options_.jobs);
     std::size_t completed = 0;
@@ -395,8 +410,10 @@ SweepRunner::runCell(std::size_t index)
                 out.profile = prof.data();
             if (quality != nullptr)
                 out.quality = qual.data();
-            if (cached)
-                writeCache(key, index, out.results);
+            if (cached && writeCache(key, index, out.results)) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.cacheRaces;
+            }
         }
         out.ok = true;
         std::lock_guard<std::mutex> lock(mutex_);
@@ -436,7 +453,7 @@ SweepRunner::progressLine(std::size_t completed, std::size_t index)
 std::string
 SweepRunner::cachePath(const std::string &key) const
 {
-    return options_.cacheDir + "/" + fnv1aHex(key) + ".cell";
+    return options_.cacheDir + "/" + sweepDigestHex(key) + ".cell";
 }
 
 bool
@@ -457,28 +474,87 @@ SweepRunner::readCache(const std::string &key,
     return readSweepResults(is, results);
 }
 
-void
+bool
 SweepRunner::writeCache(const std::string &key, std::size_t index,
                         const SimResults &results) const
 {
-    // Write to a per-job temp file, then rename: concurrent writers
-    // of the same key (duplicate cells) each land a complete file.
+    // Write to a temp file unique across processes AND jobs (farm
+    // workers share one cache directory), then rename: every writer
+    // lands a complete file and the last rename wins. Writers of the
+    // same key produce identical bytes, so losing the race is
+    // harmless; it is only counted (SweepStats::cacheRaces).
     const std::string path = cachePath(key);
-    const std::string tmp = path + ".tmp" + std::to_string(index);
+    const std::string tmp = path + ".tmp." + std::to_string(getpid())
+                            + "." + std::to_string(index);
     {
         std::ofstream os(tmp);
         if (!os)
-            return; // cache is best-effort; the results stand
+            return false; // cache is best-effort; the results stand
         os << kCacheMagic << '\n';
         writeString(os, "key", key);
         writeSweepResults(os, results);
         if (!os)
-            return;
+            return false;
     }
     std::error_code ec;
+    const bool raced = std::filesystem::exists(path, ec);
     std::filesystem::rename(tmp, path, ec);
     if (ec)
         std::filesystem::remove(tmp, ec);
+    return raced;
+}
+
+void
+writeSweepReportPreamble(sim::JsonWriter &jw, const std::string &name,
+                         const std::string &git, bool gitDirty,
+                         std::uint64_t cellCount)
+{
+    jw.kv("schema", "bfgts-sweep-v1");
+    jw.kv("kind", "sweep");
+    jw.kv("name", name);
+    jw.kv("git", git);
+    jw.kv("gitDirty", gitDirty);
+    jw.kv("cellCount", cellCount);
+}
+
+void
+writeSweepCellJson(sim::JsonWriter &jw, const SweepCell &cell,
+                   const SweepCellResult &result)
+{
+    jw.beginObject();
+    jw.kv("label", SweepRunner::cellLabel(cell));
+    jw.kv("workload", cell.workload);
+    jw.kv("cm", cm::cmKindName(cell.cm));
+    jw.kv("baseline", cell.baseline);
+    jw.kv("cpus", cell.options.numCpus);
+    jw.kv("threadsPerCpu", cell.options.threadsPerCpu);
+    jw.kv("seed", cell.options.seed);
+    jw.kv("txPerThread", cell.options.txPerThread);
+    jw.kv("bloomBits", cell.options.bloomBits);
+    jw.kv("smallTxInterval", cell.options.smallTxInterval);
+    jw.kv("ok", result.ok);
+    if (!result.ok) {
+        jw.kv("error", result.error);
+    } else {
+        const SimResults &r = result.results;
+        jw.kv("runtime", static_cast<std::uint64_t>(r.runtime));
+        jw.kv("commits", r.commits);
+        jw.kv("aborts", r.aborts);
+        jw.kv("conflicts", r.conflicts);
+        jw.kv("serializations", r.serializations);
+        jw.kv("stallTimeouts", r.stallTimeouts);
+        jw.kv("contentionRate", r.contentionRate);
+        const Breakdown &b = r.breakdown;
+        jw.beginObject("breakdown");
+        jw.kv("nonTx", static_cast<std::uint64_t>(b.nonTx));
+        jw.kv("kernel", static_cast<std::uint64_t>(b.kernel));
+        jw.kv("tx", static_cast<std::uint64_t>(b.tx));
+        jw.kv("aborted", static_cast<std::uint64_t>(b.aborted));
+        jw.kv("sched", static_cast<std::uint64_t>(b.sched));
+        jw.kv("idle", static_cast<std::uint64_t>(b.idle));
+        jw.endObject();
+    }
+    jw.endObject();
 }
 
 void
@@ -487,50 +563,13 @@ SweepRunner::writeReport(std::ostream &os,
 {
     sim::JsonWriter jw(os);
     jw.beginObject();
-    jw.kv("schema", "bfgts-sweep-v1");
-    jw.kv("kind", "sweep");
-    jw.kv("name", name);
-    jw.kv("git", sim::buildGitDescribe());
-    jw.kv("cellCount", static_cast<std::uint64_t>(cells_.size()));
+    writeSweepReportPreamble(jw, name, sim::buildGitDescribe(),
+                             sim::buildGitDirty(),
+                             static_cast<std::uint64_t>(
+                                 cells_.size()));
     jw.beginArray("cells");
-    for (std::size_t i = 0; i < cells_.size(); ++i) {
-        const SweepCell &cell = cells_[i];
-        const SweepCellResult &result = results_[i];
-        jw.beginObject();
-        jw.kv("label", cellLabel(cell));
-        jw.kv("workload", cell.workload);
-        jw.kv("cm", cm::cmKindName(cell.cm));
-        jw.kv("baseline", cell.baseline);
-        jw.kv("cpus", cell.options.numCpus);
-        jw.kv("threadsPerCpu", cell.options.threadsPerCpu);
-        jw.kv("seed", cell.options.seed);
-        jw.kv("txPerThread", cell.options.txPerThread);
-        jw.kv("bloomBits", cell.options.bloomBits);
-        jw.kv("smallTxInterval", cell.options.smallTxInterval);
-        jw.kv("ok", result.ok);
-        if (!result.ok) {
-            jw.kv("error", result.error);
-        } else {
-            const SimResults &r = result.results;
-            jw.kv("runtime", static_cast<std::uint64_t>(r.runtime));
-            jw.kv("commits", r.commits);
-            jw.kv("aborts", r.aborts);
-            jw.kv("conflicts", r.conflicts);
-            jw.kv("serializations", r.serializations);
-            jw.kv("stallTimeouts", r.stallTimeouts);
-            jw.kv("contentionRate", r.contentionRate);
-            const Breakdown &b = r.breakdown;
-            jw.beginObject("breakdown");
-            jw.kv("nonTx", static_cast<std::uint64_t>(b.nonTx));
-            jw.kv("kernel", static_cast<std::uint64_t>(b.kernel));
-            jw.kv("tx", static_cast<std::uint64_t>(b.tx));
-            jw.kv("aborted", static_cast<std::uint64_t>(b.aborted));
-            jw.kv("sched", static_cast<std::uint64_t>(b.sched));
-            jw.kv("idle", static_cast<std::uint64_t>(b.idle));
-            jw.endObject();
-        }
-        jw.endObject();
-    }
+    for (std::size_t i = 0; i < cells_.size(); ++i)
+        writeSweepCellJson(jw, cells_[i], results_[i]);
     jw.endArray();
     jw.endObject();
 }

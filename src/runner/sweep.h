@@ -25,6 +25,7 @@
 #ifndef BFGTS_RUNNER_SWEEP_H
 #define BFGTS_RUNNER_SWEEP_H
 
+#include <cstdint>
 #include <functional>
 #include <iosfwd>
 #include <mutex>
@@ -36,6 +37,10 @@
 #include "runner/results.h"
 #include "sim/profiler.h"
 #include "sim/quality.h"
+
+namespace sim {
+class JsonWriter;
+} // namespace sim
 
 namespace runner {
 
@@ -90,7 +95,7 @@ struct SweepCellResult {
 };
 
 /** Execution accounting for one run() (not part of the report);
- *  every cell lands in exactly one bucket. */
+ *  every cell lands in exactly one of the first three buckets. */
 struct SweepStats {
     /** Simulations executed to completion. */
     int executed = 0;
@@ -98,6 +103,16 @@ struct SweepStats {
     int cacheHits = 0;
     /** Cells that threw. */
     int errors = 0;
+    /**
+     * Cache writes that found the entry already present -- another
+     * process (a farm worker sharing the cache directory) or a
+     * duplicate cell landed the same key between our read miss and
+     * our rename. Harmless (both writers produced identical bytes
+     * for the same key), counted so multi-process runs can observe
+     * contention. Not a cell bucket: a raced cell still counts in
+     * executed.
+     */
+    int cacheRaces = 0;
 };
 
 /** How to execute a sweep. */
@@ -183,7 +198,9 @@ class SweepRunner
     void progressLine(std::size_t completed, std::size_t index);
     std::string cachePath(const std::string &key) const;
     bool readCache(const std::string &key, SimResults *results) const;
-    void writeCache(const std::string &key, std::size_t index,
+    /** Returns true when the entry already existed (a concurrent
+     *  writer won the rename race); see SweepStats::cacheRaces. */
+    bool writeCache(const std::string &key, std::size_t index,
                     const SimResults &results) const;
 
     SweepOptions options_;
@@ -199,6 +216,26 @@ void writeSweepResults(std::ostream &os, const SimResults &results);
 
 /** Inverse of writeSweepResults(); false on malformed input. */
 bool readSweepResults(std::istream &is, SimResults *results);
+
+/** FNV-1a 64 over @p s as 16 hex digits: cache file names, the farm
+ *  matrix digest (runner/farm.h). */
+std::string sweepDigestHex(const std::string &s);
+
+/**
+ * The fixed `bfgts-sweep-v1` header members (schema through
+ * cellCount), shared by SweepRunner::writeReport(), the farm's
+ * partial reports, and mergeSweepReports() -- one writer means the
+ * merged report reproduces the single-machine header byte-for-byte.
+ */
+void writeSweepReportPreamble(sim::JsonWriter &jw,
+                              const std::string &name,
+                              const std::string &git, bool gitDirty,
+                              std::uint64_t cellCount);
+
+/** One cell object of the `bfgts-sweep-v1` cells array, shared by
+ *  SweepRunner::writeReport() and the farm's partial reports. */
+void writeSweepCellJson(sim::JsonWriter &jw, const SweepCell &cell,
+                        const SweepCellResult &result);
 
 } // namespace runner
 

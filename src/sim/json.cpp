@@ -3,6 +3,7 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <string_view>
 
 #include "sim/logging.h"
 
@@ -72,6 +73,13 @@ buildGitDescribe()
 #else
     return "unknown";
 #endif
+}
+
+bool
+buildGitDirty()
+{
+    return std::string_view(buildGitDescribe()).find("-dirty")
+           != std::string_view::npos;
 }
 
 JsonWriter::JsonWriter(std::ostream &os, int indent)
@@ -259,6 +267,13 @@ JsonWriter::valueNull()
 {
     preItem(false);
     os_ << "null";
+}
+
+void
+JsonWriter::valueRaw(const std::string &lexeme)
+{
+    preItem(false);
+    raw(lexeme);
 }
 
 void

@@ -41,6 +41,14 @@ std::string jsonNumber(double v);
  */
 const char *buildGitDescribe();
 
+/**
+ * True when buildGitDescribe() carries the `-dirty` suffix, i.e. the
+ * binary was configured from a tree with uncommitted changes. Cache
+ * keys that embed the describe string cannot distinguish successive
+ * dirty states, so callers warn before reusing cached results.
+ */
+bool buildGitDirty();
+
 /** Streaming JSON writer; see file comment. */
 class JsonWriter
 {
@@ -74,6 +82,13 @@ class JsonWriter
     void value(int v);
     void value(bool v);
     void valueNull();
+    /**
+     * Emit @p lexeme verbatim in value position (no escaping). Used to
+     * re-emit tokens captured by the json_parse.h reader -- e.g. number
+     * lexemes that must survive a parse/re-emit round trip byte-for-
+     * byte. The caller guarantees @p lexeme is a valid JSON value.
+     */
+    void valueRaw(const std::string &lexeme);
 
     // ---- key/value members -------------------------------------------
     void kv(const std::string &key, const std::string &v);

@@ -8,8 +8,10 @@
 #include <cmath>
 #include <limits>
 #include <sstream>
+#include <string>
 
 #include "sim/json.h"
+#include "sim/json_parse.h"
 
 namespace {
 
@@ -122,6 +124,119 @@ TEST(JsonWriter, GitDescribeIsNonEmpty)
 {
     EXPECT_NE(sim::buildGitDescribe(), nullptr);
     EXPECT_GT(std::string(sim::buildGitDescribe()).size(), 0u);
+    // The dirty flag must agree with the describe string itself.
+    EXPECT_EQ(sim::buildGitDirty(),
+              std::string(sim::buildGitDescribe()).find("-dirty")
+                  != std::string::npos);
+}
+
+// ---- json_parse.h: the reader dual ----------------------------------
+
+TEST(JsonParse, ValuesAndDocumentOrder)
+{
+    sim::JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(sim::parseJson(
+        "{\"b\": 1, \"a\": [true, null, \"x\\n\", -2.5e3], "
+        "\"b\": 2}",
+        &doc, &error))
+        << error;
+    ASSERT_TRUE(doc.isObject());
+    // Members keep document order; duplicates survive, find() takes
+    // the first.
+    ASSERT_EQ(doc.members.size(), 3u);
+    EXPECT_EQ(doc.members[0].first, "b");
+    EXPECT_EQ(doc.members[1].first, "a");
+    std::uint64_t b = 0;
+    ASSERT_NE(doc.find("b"), nullptr);
+    ASSERT_TRUE(doc.find("b")->asU64(&b));
+    EXPECT_EQ(b, 1u);
+    const sim::JsonValue *a = doc.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_TRUE(a->isArray());
+    ASSERT_EQ(a->items.size(), 4u);
+    EXPECT_TRUE(a->items[0].isBool());
+    EXPECT_TRUE(a->items[0].boolean);
+    EXPECT_TRUE(a->items[1].isNull());
+    EXPECT_EQ(a->items[2].text, "x\n");
+    // Numbers keep the raw lexeme.
+    EXPECT_EQ(a->items[3].text, "-2.5e3");
+    EXPECT_FALSE(a->items[3].asU64(&b));
+}
+
+TEST(JsonParse, RejectsMalformedInput)
+{
+    sim::JsonValue doc;
+    std::string error;
+    const char *bad[] = {
+        "",           "{",         "[1,]",     "{\"a\":}",
+        "{\"a\" 1}",  "01",        "1.",       "1e",
+        "\"\\q\"",    "tru",       "[1] 2",    "\"\\ud800\"",
+        "nan",        "{]",        "\"unterminated",
+    };
+    for (const char *text : bad) {
+        EXPECT_FALSE(sim::parseJson(text, &doc, &error)) << text;
+        EXPECT_FALSE(error.empty()) << text;
+    }
+    // Deep nesting is bounded, not a stack overflow.
+    const std::string deep(500, '[');
+    EXPECT_FALSE(sim::parseJson(deep, &doc, &error));
+}
+
+TEST(JsonParse, ReEmitRoundTripsWriterOutputByteForByte)
+{
+    // Build a document with JsonWriter, parse it, re-emit it: the
+    // bytes must survive exactly. This is the property the sweep-farm
+    // merge (runner/farm.h) depends on.
+    std::ostringstream os;
+    sim::JsonWriter jw(os, 2);
+    jw.beginObject();
+    jw.kv("name", "cell \"quoted\" \t line");
+    jw.kv("rate", 0.1);
+    jw.kv("count", std::uint64_t{18446744073709551615ULL});
+    jw.kv("delta", -3.5);
+    jw.kv("big", 1e+300);
+    jw.kv("flag", false);
+    jw.beginArray("list");
+    jw.valueNull();
+    jw.beginObject();
+    jw.kv("ctrl", std::string(1, '\x01'));
+    jw.endObject();
+    jw.endArray();
+    jw.beginArray("empty");
+    jw.endArray();
+    jw.endObject();
+
+    sim::JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(sim::parseJson(os.str(), &doc, &error)) << error;
+    std::ostringstream out;
+    sim::JsonWriter re(out, 2);
+    sim::writeJson(re, doc);
+    EXPECT_EQ(out.str(), os.str());
+
+    // Compact output round-trips too.
+    std::ostringstream compact_os;
+    sim::JsonWriter compact(compact_os, 0);
+    sim::writeJson(compact, doc);
+    sim::JsonValue doc2;
+    ASSERT_TRUE(sim::parseJson(compact_os.str(), &doc2, &error))
+        << error;
+    std::ostringstream compact_re;
+    sim::JsonWriter compact2(compact_re, 0);
+    sim::writeJson(compact2, doc2);
+    EXPECT_EQ(compact_re.str(), compact_os.str());
+}
+
+TEST(JsonParse, UnicodeEscapesDecodeToUtf8)
+{
+    sim::JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(sim::parseJson(
+        "\"\\u0041\\u00e9\\u20ac\\ud83d\\ude00\"", &doc, &error))
+        << error;
+    EXPECT_EQ(doc.text,
+              "A\xc3\xa9\xe2\x82\xac\xf0\x9f\x98\x80");
 }
 
 } // namespace

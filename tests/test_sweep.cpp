@@ -293,6 +293,43 @@ TEST(SweepTest, ResultsRoundTripThroughCacheFormat)
     EXPECT_FALSE(runner::readSweepResults(garbage, &ignored));
 }
 
+TEST(SweepTest, CacheRacesCountConcurrentWinners)
+{
+    const std::string cache_dir =
+        ::testing::TempDir() + "/sweep_cache_races";
+    std::filesystem::remove_all(cache_dir);
+
+    runner::SweepOptions options;
+    options.jobs = 2;
+    options.cacheDir = cache_dir;
+
+    // Cold run: every key is written exactly once, no entry exists
+    // before its own write.
+    runner::SweepStats cold_stats;
+    const auto [cold_digests, cold_report] =
+        runSmallMatrix(options, &cold_stats);
+    EXPECT_EQ(cold_stats.cacheRaces, 0);
+
+    // A quality sweep skips cache reads but still writes: every
+    // write now finds the cold run's entry already present -- the
+    // same observable a farm worker sees when another process lands
+    // the key first. All cells must count as races, and results
+    // stay bit-identical.
+    options.quality = true;
+    runner::SweepStats raced_stats;
+    const auto [raced_digests, raced_report] =
+        runSmallMatrix(options, &raced_stats);
+    EXPECT_EQ(raced_stats.cacheRaces,
+              static_cast<int>(raced_digests.size()));
+    EXPECT_EQ(raced_stats.executed,
+              static_cast<int>(raced_digests.size()));
+    EXPECT_EQ(raced_stats.cacheHits, 0);
+    ASSERT_EQ(cold_digests.size(), raced_digests.size());
+    for (std::size_t i = 0; i < cold_digests.size(); ++i)
+        EXPECT_EQ(cold_digests[i], raced_digests[i]) << "cell " << i;
+    std::filesystem::remove_all(cache_dir);
+}
+
 TEST(SweepTest, CorruptCacheEntryFallsBackToExecution)
 {
     const std::string cache_dir =

@@ -85,20 +85,49 @@
  *                     counts. (--quality-jsonl is single-run only.)
  *   (--cpus/--tpc/--tx/--bloom-bits/--interval/--slots set the base
  *    configuration of every cell)
+ *
+ * Farm mode (runner::Farm; docs/architecture.md "Distributed sweep
+ * farm"): shard a sweep across processes/machines and merge the
+ * partial reports back into the byte-identical single-machine report.
+ *   bfgts_cli --sweep ... --shard 0/3 --cache CACHE --json s0.json
+ *   bfgts_cli --sweep ... --steal QUEUE --cache CACHE --json w0.json
+ *   bfgts_cli --merge-reports s0.json s1.json s2.json --json full.json
+ *
+ *   --shard I/N       static mode: run only shard I of N (disjoint,
+ *                     order-preserving, covering for any N); the
+ *                     report gains a shard manifest
+ *   --steal DIR       work-stealing mode: claim cells one at a time
+ *                     from the shared queue directory DIR (per-cell
+ *                     lease files, atomic O_EXCL claim); workers of
+ *                     one farm must share DIR and --cache
+ *   --steal-stale N   reclaim leases older than N seconds, the claims
+ *                     of crashed workers (default 900; must exceed
+ *                     the worst-case single-cell runtime)
+ *   --merge-reports   merge the listed partial reports into the full
+ *                     bfgts-sweep-v1 report at --json FILE; validates
+ *                     matrix digest agreement, range disjointness,
+ *                     and full coverage, and reproduces the direct
+ *                     `--sweep --jobs N` report byte-for-byte
+ *   (--profile/--quality are not supported in farm runs; killed
+ *    workers are resumed by re-running them with the shared --cache,
+ *    which re-executes only the cells missing from the cache)
  */
 
 #include <algorithm>
 #include <cstdio>
+#include <exception>
 #include <fstream>
 #include <iostream>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "runner/experiment.h"
+#include "runner/farm.h"
 #include "runner/simulation.h"
 #include "runner/sweep.h"
 #include "sim/chrome_trace.h"
@@ -157,8 +186,11 @@ usage(const char *argv0)
                  "[--seeds 1,2]\n"
                  "          [--jobs N] [--cache DIR] [--baselines] "
                  "[--json FILE] [--profile FILE]\n"
-                 "          [--quality FILE]\n",
-                 argv0, argv0);
+                 "          [--quality FILE]\n"
+                 "    farm: %s --sweep ... [--shard I/N | --steal DIR "
+                 "[--steal-stale SEC]]\n"
+                 "          %s --merge-reports PARTIAL... --json FILE\n",
+                 argv0, argv0, argv0, argv0);
     std::exit(1);
 }
 
@@ -313,13 +345,25 @@ writeConflictDot(std::ostream &os, const runner::SimResults &r)
     os << "}\n";
 }
 
+/** Farm-mode selections from the command line (--shard / --steal). */
+struct FarmCliOptions {
+    bool enabled = false;
+    int shardIndex = 0;
+    int shardCount = 1;
+    std::string stealDir;
+    int stealStaleSec = 900;
+};
+
 /**
  * --sweep mode: run the (workloads x cms x seeds) matrix through
  * runner::SweepRunner with per-cell progress on stderr, optionally
  * prefixed by one single-core baseline cell per workload. Exits
  * nonzero when any cell failed; a summary line
  * "sweep: N cells, X executed, Y cached, Z errors" always goes to
- * stderr (tools/sweep_check.py parses it).
+ * stderr (tools/sweep_check.py and tools/farm_check.py parse it).
+ * With --shard/--steal the matrix runs through runner::Farm instead,
+ * the summary counts only this worker's claimed cells, and an extra
+ * "farm: ..." line reports the claim.
  */
 int
 runSweep(const std::vector<std::string> &workload_names,
@@ -329,7 +373,8 @@ runSweep(const std::vector<std::string> &workload_names,
          int jobs, const std::string &cache_dir,
          const std::string &json_path,
          const std::string &profile_path,
-         const std::string &quality_path, const char *argv0)
+         const std::string &quality_path,
+         const FarmCliOptions &farm_cli, const char *argv0)
 {
     std::vector<std::string> workload_list = workload_names;
     if (workload_list.empty())
@@ -389,6 +434,58 @@ runSweep(const std::vector<std::string> &workload_names,
     sweep_options.progress = &std::cerr;
     sweep_options.profile = !profile_path.empty();
     sweep_options.quality = !quality_path.empty();
+
+    if (farm_cli.enabled) {
+        if (sweep_options.profile || sweep_options.quality) {
+            std::fprintf(stderr,
+                         "--profile/--quality are not supported "
+                         "with --shard/--steal\n");
+            usage(argv0);
+        }
+        runner::FarmOptions farm_options;
+        farm_options.sweep = sweep_options;
+        farm_options.shardIndex = farm_cli.shardIndex;
+        farm_options.shardCount = farm_cli.shardCount;
+        farm_options.stealDir = farm_cli.stealDir;
+        farm_options.stealStaleSec = farm_cli.stealStaleSec;
+        runner::Farm farm(farm_options);
+        try {
+            farm.run(cells);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "farm: %s\n", e.what());
+            return 1;
+        }
+        const runner::SweepStats &stats = farm.stats();
+        std::fprintf(stderr,
+                     "sweep: %zu cells, %d executed, %d cached, "
+                     "%d errors\n",
+                     farm.claimed().size(), stats.executed,
+                     stats.cacheHits, stats.errors);
+        if (farm_cli.stealDir.empty()) {
+            std::fprintf(stderr,
+                         "farm: static shard %d/%d claimed %zu of "
+                         "%zu cells\n",
+                         farm_cli.shardIndex, farm_cli.shardCount,
+                         farm.claimed().size(), cells.size());
+        } else {
+            std::fprintf(stderr,
+                         "farm: steal worker claimed %zu of %zu "
+                         "cells from %s\n",
+                         farm.claimed().size(), cells.size(),
+                         farm_cli.stealDir.c_str());
+        }
+        if (!json_path.empty()) {
+            std::ofstream json_file(json_path);
+            if (!json_file) {
+                std::fprintf(stderr, "cannot open %s\n",
+                             json_path.c_str());
+                return 1;
+            }
+            farm.writeReport(json_file, "cli-sweep");
+        }
+        return stats.errors == 0 ? 0 : 1;
+    }
+
     runner::SweepRunner sweep(sweep_options);
     sweep.run(cells);
 
@@ -524,6 +621,9 @@ main(int argc, char **argv)
         env != nullptr && env[0] != '\0') {
         sweep_cache = env;
     }
+    FarmCliOptions farm_cli;
+    bool merge_mode = false;
+    std::vector<std::string> merge_inputs;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -598,7 +698,72 @@ main(int argc, char **argv)
             sweep_cache = next();
         } else if (arg == "--baselines") {
             sweep_baselines = true;
+        } else if (arg == "--shard") {
+            const char *spec = next();
+            if (std::sscanf(spec, "%d/%d", &farm_cli.shardIndex,
+                            &farm_cli.shardCount)
+                    != 2
+                || farm_cli.shardCount < 1 || farm_cli.shardIndex < 0
+                || farm_cli.shardIndex >= farm_cli.shardCount) {
+                std::fprintf(stderr, "bad --shard spec '%s' "
+                                     "(want I/N, 0 <= I < N)\n",
+                             spec);
+                usage(argv[0]);
+            }
+            farm_cli.enabled = true;
+        } else if (arg == "--steal") {
+            farm_cli.stealDir = next();
+            farm_cli.enabled = true;
+        } else if (arg == "--steal-stale") {
+            farm_cli.stealStaleSec = std::atoi(next());
+            if (farm_cli.stealStaleSec < 1)
+                usage(argv[0]);
+        } else if (arg == "--merge-reports") {
+            merge_mode = true;
+        } else if (merge_mode && !arg.empty() && arg[0] != '-') {
+            merge_inputs.push_back(arg);
         } else {
+            usage(argv[0]);
+        }
+    }
+
+    if (merge_mode) {
+        if (merge_inputs.empty() || json_path.empty()) {
+            std::fprintf(stderr, "--merge-reports needs partial "
+                                 "reports and --json FILE\n");
+            usage(argv[0]);
+        }
+        // Validate-then-emit into memory so a failed merge leaves no
+        // truncated output file behind.
+        std::ostringstream merged;
+        std::string error;
+        if (!runner::mergeSweepReports(merge_inputs, merged,
+                                       &error)) {
+            std::fprintf(stderr, "%s\n", error.c_str());
+            return 1;
+        }
+        std::ofstream out(json_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+        out << merged.str();
+        std::fprintf(stderr,
+                     "merge-reports: %zu partial reports -> %s\n",
+                     merge_inputs.size(), json_path.c_str());
+        return 0;
+    }
+
+    if (farm_cli.enabled) {
+        if (!sweep_mode) {
+            std::fprintf(stderr,
+                         "--shard/--steal need --sweep mode\n");
+            usage(argv[0]);
+        }
+        if (farm_cli.shardCount > 1 && !farm_cli.stealDir.empty()) {
+            std::fprintf(stderr, "--shard and --steal are mutually "
+                                 "exclusive\n");
             usage(argv[0]);
         }
     }
@@ -614,7 +779,7 @@ main(int argc, char **argv)
         return runSweep(sweep_workloads, sweep_cms, sweep_seeds, base,
                         sweep_baselines, sweep_jobs, sweep_cache,
                         json_path, profile_path, quality_path,
-                        argv[0]);
+                        farm_cli, argv[0]);
     }
 
     config.cm = cm::cmKindFromName(manager);

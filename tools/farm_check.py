@@ -1,0 +1,276 @@
+#!/usr/bin/env python3
+"""Distributed-farm differential gate (the `farm_identical` ctest).
+
+Exercises the sweep farm (src/runner/farm.h) end to end with real
+separate worker *processes* and asserts its headline guarantees:
+
+* **Static sharding** -- three `bfgts_cli --sweep --shard i/3`
+  processes sharing one cell cache produce partial reports whose
+  `--merge-reports` recombination is byte-identical to the direct
+  single-machine `--sweep --jobs N` report.
+* **Work stealing** -- three concurrent `--steal` workers racing one
+  filesystem queue drain every cell exactly once and merge to the
+  same bytes.
+* **Hash-seed invariance** -- all of the above holds under two
+  BFGTS_HASH_SEED values, and the reports agree across seeds.
+* **Cross-checked merge** -- tools/farm_merge.py (an independent
+  Python re-implementation) reproduces the CLI merge byte for byte.
+* **Crash resume** -- a worker SIGKILLed mid-sweep leaves N completed
+  cells in the cache; the rerun answers exactly those N from cache and
+  executes only the remainder (checked against the "sweep: ..."
+  summary line).
+
+Usage
+-----
+  farm_check.py --cli path/to/bfgts_cli [--jobs 8]
+"""
+
+import argparse
+import glob
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+# The same bucket-scrambling pair sweep_check.py uses.
+HASH_SEEDS = ["0", "18364758544493064720"]
+
+MATRIX = [
+    "--workloads", "Intruder,Genome,Kmeans",
+    "--cms", "Backoff,PTS,BFGTS-HW",
+    "--seeds", "1,2",
+    "--baselines",
+]
+
+SUMMARY_RE = re.compile(
+    r"sweep: (\d+) cells, (\d+) executed, (\d+) cached, (\d+) errors")
+
+
+def env_for(hash_seed):
+    env = dict(os.environ, BFGTS_QUICK="1",
+               BFGTS_HASH_SEED=hash_seed)
+    env.pop("BFGTS_SWEEP_CACHE", None)
+    return env
+
+
+def parse_summary(stderr):
+    match = SUMMARY_RE.search(stderr)
+    if not match:
+        raise AssertionError("no sweep summary line on stderr:\n"
+                             + stderr)
+    return tuple(int(g) for g in match.groups())
+
+
+def read_bytes(path):
+    with open(path, "rb") as fh:
+        return fh.read()
+
+
+def run_worker(cli, hash_seed, json_path, cache_dir, extra):
+    proc = subprocess.run(
+        [cli, "--sweep"] + MATRIX
+        + ["--cache", cache_dir, "--json", json_path] + extra,
+        env=env_for(hash_seed), stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE, text=True, check=True)
+    return parse_summary(proc.stderr)
+
+
+def merge(cli, hash_seed, partials, out_path):
+    subprocess.run([cli, "--merge-reports"] + partials
+                   + ["--json", out_path],
+                   env=env_for(hash_seed),
+                   stdout=subprocess.DEVNULL,
+                   stderr=subprocess.DEVNULL, check=True)
+    return read_bytes(out_path)
+
+
+def cross_check(partials, out_path, reference):
+    here = os.path.dirname(os.path.abspath(__file__))
+    return subprocess.run(
+        [sys.executable, os.path.join(here, "farm_merge.py")]
+        + partials + ["-o", out_path, "--reference", reference],
+        stdout=subprocess.DEVNULL).returncode == 0
+
+
+def cache_cells(cache_dir):
+    return sorted(glob.glob(os.path.join(cache_dir, "*.cell")))
+
+
+def static_leg(cli, hash_seed, tmp, direct, failures):
+    cache = os.path.join(tmp, "static_cache_%s" % hash_seed)
+    partials = []
+    executed_total = 0
+    for shard in range(3):
+        path = os.path.join(tmp, "static_%s_%d.json"
+                            % (hash_seed, shard))
+        partials.append(path)
+        summary = run_worker(cli, hash_seed, path, cache,
+                             ["--shard", "%d/3" % shard])
+        cells, executed, cached, errors = summary
+        if executed != cells or cached != 0 or errors != 0:
+            print("FAIL: static shard %d/3 (seed %s) summary %s: "
+                  "expected every claimed cell executed"
+                  % (shard, hash_seed, summary))
+            failures.append("static summary")
+        executed_total += executed
+    merged_path = os.path.join(tmp, "static_%s.json" % hash_seed)
+    merged = merge(cli, hash_seed, partials, merged_path)
+    if merged != direct:
+        print("FAIL: static 3-shard merge (seed %s) differs from "
+              "the direct report" % hash_seed)
+        failures.append("static merge")
+    if not cross_check(partials,
+                       os.path.join(tmp, "static_%s.py.json"
+                                    % hash_seed), merged_path):
+        print("FAIL: farm_merge.py cross-check (static, seed %s)"
+              % hash_seed)
+        failures.append("static cross-check")
+    return executed_total
+
+
+def steal_leg(cli, hash_seed, tmp, direct, total_cells, failures):
+    cache = os.path.join(tmp, "steal_cache_%s" % hash_seed)
+    queue = os.path.join(tmp, "steal_queue_%s" % hash_seed)
+    partials = []
+    procs = []
+    for worker in range(3):
+        path = os.path.join(tmp, "steal_%s_%d.json"
+                            % (hash_seed, worker))
+        partials.append(path)
+        procs.append(subprocess.Popen(
+            [cli, "--sweep"] + MATRIX
+            + ["--cache", cache, "--json", path, "--steal", queue],
+            env=env_for(hash_seed), stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE, text=True))
+    claimed_total = 0
+    for worker, proc in enumerate(procs):
+        _, stderr = proc.communicate()
+        if proc.returncode != 0:
+            print("FAIL: steal worker %d (seed %s) exited with %d:\n%s"
+                  % (worker, hash_seed, proc.returncode, stderr))
+            failures.append("steal exit")
+            continue
+        claimed_total += parse_summary(stderr)[0]
+    if claimed_total != total_cells:
+        print("FAIL: steal workers (seed %s) claimed %d cells in "
+              "total, expected %d"
+              % (hash_seed, claimed_total, total_cells))
+        failures.append("steal coverage")
+    merged_path = os.path.join(tmp, "steal_%s.json" % hash_seed)
+    merged = merge(cli, hash_seed, partials, merged_path)
+    if merged != direct:
+        print("FAIL: 3-worker steal merge (seed %s) differs from "
+              "the direct report" % hash_seed)
+        failures.append("steal merge")
+    if not cross_check(partials,
+                       os.path.join(tmp, "steal_%s.py.json"
+                                    % hash_seed), merged_path):
+        print("FAIL: farm_merge.py cross-check (steal, seed %s)"
+              % hash_seed)
+        failures.append("steal cross-check")
+
+
+def resume_leg(cli, tmp, total_cells, failures):
+    """SIGKILL a serial worker mid-sweep, then resume it and require
+    the rerun to execute exactly the cache-missing cells."""
+    cache = os.path.join(tmp, "resume_cache")
+    json_path = os.path.join(tmp, "resume.json")
+    cmd = [cli, "--sweep"] + MATRIX + ["--jobs", "1",
+                                       "--cache", cache,
+                                       "--json", json_path,
+                                       "--shard", "0/1"]
+    proc = subprocess.Popen(cmd, env=env_for(HASH_SEEDS[0]),
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+    deadline = time.monotonic() + 120
+    while (len(cache_cells(cache)) < 2 and proc.poll() is None
+           and time.monotonic() < deadline):
+        time.sleep(0.005)
+    if proc.poll() is not None:
+        print("FAIL: resume leg: worker finished before it could be "
+              "killed (matrix too small for this host?)")
+        failures.append("resume kill")
+        return
+    proc.send_signal(signal.SIGKILL)
+    proc.wait()
+
+    completed = len(cache_cells(cache))
+    if not 0 < completed < total_cells:
+        print("FAIL: resume leg: %d of %d cells cached after the "
+              "kill; expected a strict subset"
+              % (completed, total_cells))
+        failures.append("resume subset")
+        return
+    rerun = subprocess.run(cmd, env=env_for(HASH_SEEDS[0]),
+                           stdout=subprocess.DEVNULL,
+                           stderr=subprocess.PIPE, text=True,
+                           check=True)
+    summary = parse_summary(rerun.stderr)
+    expected = (total_cells, total_cells - completed, completed, 0)
+    if summary != expected:
+        print("FAIL: resume rerun summary %s: expected %s (only the "
+              "%d cache-missing cells re-executed)"
+              % (summary, expected, total_cells - completed))
+        failures.append("resume summary")
+    else:
+        print("farm_check: resume re-executed %d of %d cells after "
+              "the kill left %d in cache"
+              % (total_cells - completed, total_cells, completed))
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Differential check of the bfgts_cli sweep farm")
+    parser.add_argument("--cli", required=True,
+                        help="path to the bfgts_cli binary")
+    parser.add_argument("--jobs", type=int, default=8,
+                        help="worker threads for the direct report "
+                             "(default 8)")
+    args = parser.parse_args()
+
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        directs = {}
+        total_cells = 0
+        for seed in HASH_SEEDS:
+            path = os.path.join(tmp, "direct_%s.json" % seed)
+            summary = run_worker(
+                args.cli, seed, path,
+                os.path.join(tmp, "direct_cache_%s" % seed),
+                ["--jobs", str(args.jobs)])
+            total_cells = summary[0]
+            directs[seed] = read_bytes(path)
+        if directs[HASH_SEEDS[0]] != directs[HASH_SEEDS[1]]:
+            print("FAIL: direct reports differ across hash seeds")
+            failures.append("direct seeds")
+
+        for seed in HASH_SEEDS:
+            executed = static_leg(args.cli, seed, tmp, directs[seed],
+                                  failures)
+            if executed != total_cells:
+                print("FAIL: static shards (seed %s) executed %d "
+                      "cells in total, expected %d"
+                      % (seed, executed, total_cells))
+                failures.append("static coverage")
+            steal_leg(args.cli, seed, tmp, directs[seed],
+                      total_cells, failures)
+        if not failures:
+            print("farm_check: static and steal farms byte-identical "
+                  "to the direct report under %d hash seeds"
+                  % len(HASH_SEEDS))
+
+        resume_leg(args.cli, tmp, total_cells, failures)
+
+    if failures:
+        print("farm_check: %d failure(s): %s"
+              % (len(failures), ", ".join(failures)))
+        return 1
+    print("farm_check: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

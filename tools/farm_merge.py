@@ -1,0 +1,239 @@
+#!/usr/bin/env python3
+"""Independent re-implementation of `bfgts_cli --merge-reports`.
+
+Recombines per-shard bfgts-sweep-v1 partial reports (src/runner/farm.h)
+into the single-machine report -- byte for byte. The point is
+*cross-checking*: this script shares no code with the C++ merger, so
+when both produce identical bytes (the `farm_identical` ctest gate)
+the merge format and the validator are pinned from two directions.
+
+Byte-identity is achieved the same way as in C++: cell objects are
+never re-serialized. Each partial's raw text is spliced -- the cell
+objects are cut out verbatim with a string-aware brace matcher and
+re-emitted in global cell order under a reconstructed header.
+
+Validation mirrors runner::mergeSweepReports: every partial must agree
+on matrix digest, total cell count, report name, git describe, and
+dirty flag; the claimed cell ranges must be disjoint and cover
+[0, totalCells) exactly.
+
+Usage
+-----
+  farm_merge.py partial0.json partial1.json ... -o merged.json
+                [--reference direct.json]
+
+With --reference, the merged bytes are additionally compared against a
+direct single-machine report and any difference is an error.
+Exit 0 on success, 1 on validation or comparison failure.
+"""
+
+import argparse
+import json
+import sys
+
+
+class MergeError(Exception):
+    pass
+
+
+def json_escape(text):
+    """Clone of sim::jsonEscape (json.cpp): the canonical escape set."""
+    out = ['"']
+    for ch in text:
+        if ch == '"':
+            out.append('\\"')
+        elif ch == "\\":
+            out.append("\\\\")
+        elif ch == "\b":
+            out.append("\\b")
+        elif ch == "\f":
+            out.append("\\f")
+        elif ch == "\n":
+            out.append("\\n")
+        elif ch == "\r":
+            out.append("\\r")
+        elif ch == "\t":
+            out.append("\\t")
+        elif ord(ch) < 0x20:
+            out.append("\\u%04x" % ord(ch))
+        else:
+            out.append(ch)
+    out.append('"')
+    return "".join(out)
+
+
+def splice_cells(text, path):
+    """Return the raw text of each top-level object in the "cells"
+    array, exactly as it appears in the file."""
+    marker = '"cells": ['
+    start = text.find(marker)
+    if start < 0:
+        raise MergeError("%s: no cells array" % path)
+    pos = start + len(marker)
+    cells = []
+    depth = 0
+    in_string = False
+    escaped = False
+    cell_start = None
+    while pos < len(text):
+        ch = text[pos]
+        if in_string:
+            if escaped:
+                escaped = False
+            elif ch == "\\":
+                escaped = True
+            elif ch == '"':
+                in_string = False
+        elif ch == '"':
+            in_string = True
+        elif ch == "{":
+            if depth == 0:
+                cell_start = pos
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+            if depth == 0:
+                cells.append(text[cell_start:pos + 1])
+        elif ch == "]" and depth == 0:
+            return cells
+        pos += 1
+    raise MergeError("%s: unterminated cells array" % path)
+
+
+def load_partial(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    try:
+        doc = json.loads(text)
+    except ValueError as exc:
+        raise MergeError("%s: %s" % (path, exc))
+    if doc.get("schema") != "bfgts-sweep-v1":
+        raise MergeError("%s: not a bfgts-sweep-v1 report" % path)
+    if doc.get("kind") != "sweep":
+        raise MergeError("%s: kind is not 'sweep'" % path)
+    shard = doc.get("shard")
+    if not isinstance(shard, dict):
+        raise MergeError("%s: no shard manifest (not a partial "
+                         "report?)" % path)
+    ranges = shard.get("cellRanges")
+    if not isinstance(ranges, list):
+        raise MergeError("%s: shard manifest has no cellRanges"
+                         % path)
+    indices = []
+    last_end = 0
+    for pair in ranges:
+        if (not isinstance(pair, list) or len(pair) != 2
+                or not all(isinstance(v, int) for v in pair)):
+            raise MergeError("%s: malformed cell range %r"
+                             % (path, pair))
+        begin, end = pair
+        if begin < last_end or end <= begin:
+            raise MergeError("%s: cell ranges not ascending and "
+                             "disjoint" % path)
+        if end > shard.get("totalCells", 0):
+            raise MergeError("%s: cell range %r exceeds totalCells"
+                             % (path, pair))
+        indices.extend(range(begin, end))
+        last_end = end
+    cells = splice_cells(text, path)
+    if len(cells) != len(indices) or doc.get("cellCount") != len(cells):
+        raise MergeError("%s: cellCount, cells array, and cellRanges "
+                         "disagree" % path)
+    return {
+        "path": path,
+        "digest": shard.get("matrixDigest"),
+        "total": shard.get("totalCells"),
+        "name": doc.get("name"),
+        "git": doc.get("git"),
+        "git_dirty": doc.get("gitDirty"),
+        "indices": indices,
+        "cells": cells,
+    }
+
+
+def merge(paths):
+    if not paths:
+        raise MergeError("no partial reports given")
+    partials = [load_partial(path) for path in paths]
+    first = partials[0]
+    for part in partials[1:]:
+        for key, label in (("digest", "matrix digest"),
+                           ("total", "totalCells"),
+                           ("name", "report name"),
+                           ("git", "git describe"),
+                           ("git_dirty", "gitDirty")):
+            if part[key] != first[key]:
+                raise MergeError(
+                    "%s: %s %r does not match %s's %r"
+                    % (part["path"], label, part[key],
+                       first["path"], first[key]))
+    total = first["total"]
+    slots = [None] * total
+    for part in partials:
+        for index, cell in zip(part["indices"], part["cells"]):
+            if slots[index] is not None:
+                raise MergeError(
+                    "%s: cell %d already covered by another shard"
+                    % (part["path"], index))
+            slots[index] = cell
+    for index, cell in enumerate(slots):
+        if cell is None:
+            raise MergeError("cell %d covered by no shard "
+                             "(incomplete farm run?)" % index)
+
+    header = [
+        "{",
+        '  "schema": "bfgts-sweep-v1",',
+        '  "kind": "sweep",',
+        '  "name": %s,' % json_escape(first["name"]),
+        '  "git": %s,' % json_escape(first["git"]),
+        '  "gitDirty": %s,' % ("true" if first["git_dirty"]
+                               else "false"),
+        '  "cellCount": %d,' % total,
+        '  "cells": [',
+    ]
+    return ("\n".join(header) + "\n"
+            + ",\n".join("    " + cell for cell in slots)
+            + "\n  ]\n}\n")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Merge bfgts-sweep-v1 partial reports "
+                    "(independent cross-check of bfgts_cli "
+                    "--merge-reports)")
+    parser.add_argument("partials", nargs="+",
+                        help="per-shard partial report files")
+    parser.add_argument("-o", "--output", required=True,
+                        help="merged report destination")
+    parser.add_argument("--reference",
+                        help="byte-compare the merged report against "
+                             "this single-machine report")
+    args = parser.parse_args()
+
+    try:
+        merged = merge(args.partials)
+    except MergeError as exc:
+        print("farm_merge: %s" % exc, file=sys.stderr)
+        return 1
+    with open(args.output, "w", encoding="utf-8", newline="") as fh:
+        fh.write(merged)
+    if args.reference:
+        with open(args.reference, "r", encoding="utf-8",
+                  newline="") as fh:
+            reference = fh.read()
+        if merged != reference:
+            print("farm_merge: merged report differs from %s"
+                  % args.reference, file=sys.stderr)
+            return 1
+        print("farm_merge: merged %d partial(s) -> %s "
+              "(byte-identical to %s)"
+              % (len(args.partials), args.output, args.reference))
+    else:
+        print("farm_merge: merged %d partial(s) -> %s"
+              % (len(args.partials), args.output))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Local multi-process sweep farm driver.
+
+Spawns N `bfgts_cli --sweep` worker *processes* over one sweep matrix
+-- either as static `--shard i/N` partitions or as `--steal` workers
+racing a shared filesystem queue -- sharing one content-addressed
+cell cache, then recombines the partial reports with
+`bfgts_cli --merge-reports` and (optionally) cross-checks the merge
+with tools/farm_merge.py. The merged report is byte-identical to what
+a single `bfgts_cli --sweep` run would have produced (src/runner/
+farm.h explains why), so this driver is a drop-in way to spread a
+large matrix across local cores -- or, pointed at a network
+filesystem, across machines.
+
+Usage
+-----
+  sweep_farm.py --cli build/tools/bfgts_cli --workers 3 \\
+      --out merged.json -- --workloads Intruder,Genome \\
+      --cms Backoff,BFGTS-HW --seeds 1,2,3 --baselines
+
+Everything after `--` is passed to every worker verbatim (the sweep
+matrix selection). Other flags:
+
+  --mode static|steal   partitioning strategy (default static)
+  --cache DIR           shared cell cache (default: <workdir>/cache);
+                        rerunning after a crash resumes from it
+  --workdir DIR         keep partials/queue here instead of a tempdir
+  --jobs N              in-process threads per worker (default 1)
+  --cross-check         also merge with farm_merge.py and require
+                        byte-identity with the CLI merge
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def worker_command(args, index, workdir, json_path):
+    cmd = [args.cli, "--sweep", "--jobs", str(args.jobs),
+           "--cache", args.cache, "--json", json_path]
+    if args.mode == "static":
+        cmd += ["--shard", "%d/%d" % (index, args.workers)]
+    else:
+        cmd += ["--steal", os.path.join(workdir, "queue")]
+    return cmd + args.sweep_args
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Run a sweep matrix across N bfgts_cli worker "
+                    "processes and merge the partial reports")
+    parser.add_argument("--cli", required=True,
+                        help="path to the bfgts_cli binary")
+    parser.add_argument("--workers", type=int, default=3,
+                        help="worker process count (default 3)")
+    parser.add_argument("--mode", choices=("static", "steal"),
+                        default="static")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="threads per worker process (default 1)")
+    parser.add_argument("--cache",
+                        help="shared cell cache directory")
+    parser.add_argument("--workdir",
+                        help="directory for partials and the steal "
+                             "queue (default: a fresh tempdir)")
+    parser.add_argument("--out", required=True,
+                        help="merged report destination")
+    parser.add_argument("--cross-check", action="store_true",
+                        help="also merge via farm_merge.py and "
+                             "require byte-identity")
+    parser.add_argument("sweep_args", nargs=argparse.REMAINDER,
+                        help="-- followed by sweep matrix flags "
+                             "passed to every worker")
+    args = parser.parse_args()
+    if args.sweep_args and args.sweep_args[0] == "--":
+        args.sweep_args = args.sweep_args[1:]
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
+
+    own_tempdir = None
+    if args.workdir:
+        workdir = args.workdir
+        os.makedirs(workdir, exist_ok=True)
+    else:
+        own_tempdir = tempfile.TemporaryDirectory(prefix="sweep_farm.")
+        workdir = own_tempdir.name
+    if not args.cache:
+        args.cache = os.path.join(workdir, "cache")
+
+    partials = []
+    procs = []
+    for index in range(args.workers):
+        json_path = os.path.join(workdir, "partial%d.json" % index)
+        partials.append(json_path)
+        cmd = worker_command(args, index, workdir, json_path)
+        procs.append(subprocess.Popen(cmd))
+    status = 0
+    for index, proc in enumerate(procs):
+        if proc.wait() != 0:
+            print("sweep_farm: worker %d exited with %d"
+                  % (index, proc.returncode), file=sys.stderr)
+            status = 1
+    if status:
+        return status
+
+    merge_cmd = [args.cli, "--merge-reports"] + partials \
+        + ["--json", args.out]
+    if subprocess.run(merge_cmd).returncode != 0:
+        print("sweep_farm: merge failed", file=sys.stderr)
+        return 1
+
+    if args.cross_check:
+        here = os.path.dirname(os.path.abspath(__file__))
+        check = subprocess.run(
+            [sys.executable, os.path.join(here, "farm_merge.py")]
+            + partials
+            + ["-o", os.path.join(workdir, "merged.pycheck.json"),
+               "--reference", args.out])
+        if check.returncode != 0:
+            print("sweep_farm: farm_merge.py cross-check failed",
+                  file=sys.stderr)
+            return 1
+
+    print("sweep_farm: %d %s worker(s) -> %s"
+          % (args.workers, args.mode, args.out))
+    if own_tempdir:
+        own_tempdir.cleanup()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
