@@ -48,8 +48,10 @@ main(int argc, char **argv)
     bench::JsonReporter json("micro_audit_overhead", argc, argv);
 
     runner::RunOptions options = bench::defaultOptions();
-    if (!bench::quickMode())
-        options.txPerThread = 60;
+    // No quick-mode shrink here: this gate compares two wall times
+    // against a small tolerance, and the fast sim core makes a 20-tx
+    // rep too short to time reliably.
+    options.txPerThread = 60;
 
     runner::SimConfig off =
         runner::makeConfig("Intruder", cm::CmKind::BfgtsHw, options);
@@ -68,7 +70,10 @@ main(int argc, char **argv)
 
     // Warm-up run (page in code and workload data), then alternate.
     runOnce(off);
-    const int reps = bench::quickMode() ? 3 : 5;
+    // The fast sim core (SIMD signatures + flat tables) cut the
+    // quick-mode rep to ~10ms, so min-of-3 no longer converges under
+    // scheduler jitter; more reps keep the min a faithful floor.
+    const int reps = bench::quickMode() ? 9 : 5;
     double min_off = 1e30;
     double min_dry = 1e30;
     for (int rep = 0; rep < reps; ++rep) {

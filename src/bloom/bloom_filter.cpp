@@ -1,7 +1,6 @@
 #include "bloom_filter.h"
 
-#include <bit>
-
+#include "bloom/signature_ops.h"
 #include "sim/logging.h"
 
 namespace bloom {
@@ -26,7 +25,7 @@ BloomFilter::BloomFilter(const BloomConfig &config)
 }
 
 std::uint64_t
-BloomFilter::bitIndex(int fn, std::uint64_t key) const
+BloomFilter::bitIndexFor(int fn, std::uint64_t key) const
 {
     if (!config_.partitioned)
         return hashes_.hash(fn, key);
@@ -42,7 +41,7 @@ void
 BloomFilter::insert(std::uint64_t key)
 {
     for (int fn = 0; fn < config_.numHashes; ++fn) {
-        std::uint64_t bit = bitIndex(fn, key);
+        std::uint64_t bit = bitIndexFor(fn, key);
         words_[bit >> 6] |= 1ULL << (bit & 63);
     }
     ++numInserted_;
@@ -52,7 +51,7 @@ bool
 BloomFilter::mayContain(std::uint64_t key) const
 {
     for (int fn = 0; fn < config_.numHashes; ++fn) {
-        std::uint64_t bit = bitIndex(fn, key);
+        std::uint64_t bit = bitIndexFor(fn, key);
         if (!(words_[bit >> 6] & (1ULL << (bit & 63))))
             return false;
     }
@@ -69,10 +68,15 @@ BloomFilter::clear()
 std::uint64_t
 BloomFilter::popCount() const
 {
-    std::uint64_t count = 0;
-    for (std::uint64_t w : words_)
-        count += static_cast<std::uint64_t>(std::popcount(w));
-    return count;
+    return activeSignatureOps().popcountWords(words_.data(),
+                                              words_.size());
+}
+
+void
+BloomFilter::testClearBit(std::uint64_t bit)
+{
+    sim_assert(bit < config_.numBits);
+    words_[bit >> 6] &= ~(1ULL << (bit & 63));
 }
 
 bool
@@ -85,8 +89,8 @@ void
 BloomFilter::unionInPlace(const BloomFilter &other)
 {
     sim_assert(compatibleWith(other));
-    for (std::size_t i = 0; i < words_.size(); ++i)
-        words_[i] |= other.words_[i];
+    activeSignatureOps().orWords(words_.data(), other.words_.data(),
+                                 words_.size());
     numInserted_ += other.numInserted_;
 }
 
@@ -103,8 +107,9 @@ BloomFilter::intersectWith(const BloomFilter &other) const
 {
     sim_assert(compatibleWith(other));
     BloomFilter result = *this;
-    for (std::size_t i = 0; i < words_.size(); ++i)
-        result.words_[i] &= other.words_[i];
+    activeSignatureOps().andWords(result.words_.data(),
+                                  other.words_.data(),
+                                  result.words_.size());
     // The exact insert count of an intersection is unknowable; keep 0.
     result.numInserted_ = 0;
     return result;
@@ -114,11 +119,9 @@ bool
 BloomFilter::intersectionNonEmpty(const BloomFilter &other) const
 {
     sim_assert(compatibleWith(other));
-    for (std::size_t i = 0; i < words_.size(); ++i) {
-        if (words_[i] & other.words_[i])
-            return true;
-    }
-    return false;
+    return activeSignatureOps().andAny(words_.data(),
+                                       other.words_.data(),
+                                       words_.size());
 }
 
 } // namespace bloom

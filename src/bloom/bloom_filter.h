@@ -109,13 +109,20 @@ class BloomFilter
      */
     bool intersectionNonEmpty(const BloomFilter &other) const;
 
-    /** Raw words, for popcount microbenchmarks. */
+    /** Raw words, for the signature kernels and microbenchmarks. */
     const std::vector<std::uint64_t> &words() const { return words_; }
 
-  private:
-    /** Bit index hash function @p fn maps @p key to (bank-aware). */
-    std::uint64_t bitIndex(int fn, std::uint64_t key) const;
+    /**
+     * Bit index hash function @p fn maps @p key to (bank-aware in the
+     * partitioned layout). Exposed so the audit engine can validate
+     * the partitioned-layout no-false-negative property per bank.
+     */
+    std::uint64_t bitIndexFor(int fn, std::uint64_t key) const;
 
+    /** Test-only: clear one raw bit (audit mutation selftests). */
+    void testClearBit(std::uint64_t bit);
+
+  private:
     BloomConfig config_;
     H3HashFamily hashes_;
     std::vector<std::uint64_t> words_;

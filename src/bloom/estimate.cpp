@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "bloom/signature_ops.h"
 #include "sim/logging.h"
 
 namespace bloom {
@@ -38,9 +39,17 @@ double
 estimateIntersectionSize(const BloomFilter &a, const BloomFilter &b)
 {
     sim_assert(a.compatibleWith(b));
-    const BloomFilter u = a.unionWith(b);
-    const double est = estimateSetSize(a) + estimateSetSize(b)
-                     - estimateSetSize(u);
+    // Eq. 3 needs only the three popcounts t_A, t_B, t_{A|B}; the
+    // active kernel computes them in one pass (the scalar oracle
+    // still materializes the union, as the seed did). Identical
+    // integer counts feed identical double-precision formulas, so the
+    // two implementations are bit-identical.
+    const UnionCounts counts = activeSignatureOps().unionCounts(
+        a.words().data(), b.words().data(), a.words().size());
+    const double est =
+        estimateSetSize(counts.popA, a.numBits(), a.numHashes())
+        + estimateSetSize(counts.popB, b.numBits(), b.numHashes())
+        - estimateSetSize(counts.popUnion, a.numBits(), a.numHashes());
     return std::max(est, 0.0);
 }
 

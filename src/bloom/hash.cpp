@@ -10,18 +10,21 @@ H3HashFamily::H3HashFamily(int num_hashes, std::uint64_t num_buckets,
 {
     sim_assert(num_hashes > 0);
     sim_assert(num_buckets > 1);
-    matrix_.resize(static_cast<std::size_t>(num_hashes) * 64);
+    std::vector<std::uint64_t> matrix(
+        static_cast<std::size_t>(num_hashes) * 64);
     std::uint64_t sm = seed ^ 0x8e1f0cafe5a5a5a5ULL;
-    for (auto &row : matrix_)
+    for (auto &row : matrix)
         row = sim::splitmix64(sm);
+    matrix_ = std::make_shared<const std::vector<std::uint64_t>>(
+        std::move(matrix));
 }
 
 std::uint64_t
 H3HashFamily::hash(int fn, std::uint64_t key) const
 {
     sim_assert(fn >= 0 && fn < numHashes_);
-    const std::uint64_t *rows = &matrix_[static_cast<std::size_t>(fn)
-                                         * 64];
+    const std::uint64_t *rows =
+        matrix_->data() + static_cast<std::size_t>(fn) * 64;
     std::uint64_t acc = 0;
     std::uint64_t k = key;
     while (k) {

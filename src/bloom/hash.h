@@ -14,6 +14,7 @@
 #define BFGTS_BLOOM_HASH_H
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sim/random.h"
@@ -28,6 +29,11 @@ namespace bloom {
  * key's set bits, reduced modulo the number of buckets. All functions
  * built from the same seed are identical, which is what makes two
  * Bloom filters with the same (bits, hashes, seed) unionable.
+ *
+ * The matrix is held behind a shared const pointer, so copying a
+ * family (and therefore a Bloom filter: the runtime stores one
+ * signature per dTxID and clones a prototype on the fast path) is a
+ * reference-count bump, not a k*64-word copy.
  */
 class H3HashFamily
 {
@@ -49,8 +55,11 @@ class H3HashFamily
   private:
     int numHashes_;
     std::uint64_t numBuckets_;
-    /** matrix_[fn * 64 + bit] = random row for input bit @p bit. */
-    std::vector<std::uint64_t> matrix_;
+    /**
+     * matrix_[fn * 64 + bit] = random row for input bit @p bit.
+     * Immutable after construction and shared across copies.
+     */
+    std::shared_ptr<const std::vector<std::uint64_t>> matrix_;
 };
 
 /**

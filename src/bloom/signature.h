@@ -102,6 +102,9 @@ class BloomSignature : public Signature
     /** Underlying filter (for cost accounting and tests). */
     const BloomFilter &filter() const { return filter_; }
 
+    /** Test-only mutable filter access (audit mutation selftests). */
+    BloomFilter &testFilter() { return filter_; }
+
   private:
     static const BloomFilter &cast(const Signature &other);
 

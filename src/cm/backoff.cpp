@@ -11,7 +11,7 @@ BackoffManager::onTxAbort(const TxInfo &tx, const TxInfo &other)
 {
     (void)other;
     trackEnd(tx, false);
-    int &streak = consecutiveAborts_[tx.thread];
+    int &streak = streakFor(tx.thread);
     streak = std::min(streak + 1, config_.maxExponent);
 
     AbortResponse resp;

@@ -12,8 +12,9 @@
 #ifndef BFGTS_CM_BACKOFF_H
 #define BFGTS_CM_BACKOFF_H
 
+#include <vector>
+
 #include "cm/base.h"
-#include "sim/det_hash.h"
 
 namespace cm {
 
@@ -52,13 +53,24 @@ class BackoffManager : public ContentionManagerBase
     onTxCommit(const TxInfo &tx, const std::vector<mem::Addr> &) override
     {
         trackEnd(tx, true);
-        consecutiveAborts_[tx.thread] = 0;
+        streakFor(tx.thread) = 0;
         return CmCost{};
     }
 
   private:
+    /** Per-thread abort streak, grown on first touch. */
+    int &
+    streakFor(sim::ThreadId thread)
+    {
+        const auto index = static_cast<std::size_t>(thread);
+        if (index >= consecutiveAborts_.size())
+            consecutiveAborts_.resize(index + 1, 0);
+        return consecutiveAborts_[index];
+    }
+
     BackoffConfig config_;
-    sim::HashMap<sim::ThreadId, int> consecutiveAborts_;
+    /** Flat per-thread state: threads are dense small integers. */
+    std::vector<int> consecutiveAborts_;
 };
 
 } // namespace cm

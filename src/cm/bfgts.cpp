@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "bloom/signature_ops.h"
 #include "cpu/predictor.h"
 #include "sim/audit.h"
 #include "sim/event_queue.h"
@@ -40,6 +41,10 @@ BfgtsManager::BfgtsManager(int num_cpus, const htm::TxIdSpace &ids,
     stats_.resize(slots * static_cast<std::size_t>(ids.numThreads()));
     for (DtxStats &s : stats_)
         s.similarity = config_.initialSimilarity;
+    if (!noOverhead()) {
+        protoSig_ =
+            std::make_unique<bloom::BloomSignature>(config_.bloom);
+    }
     if (usesHardware())
         sim_assert(services_.predictors != nullptr);
 }
@@ -78,7 +83,14 @@ BfgtsManager::makeSignature() const
 {
     if (noOverhead())
         return std::make_unique<bloom::PerfectSignature>();
-    return std::make_unique<bloom::BloomSignature>(config_.bloom);
+    // The scalar oracle constructs a fresh signature (the seed's cost
+    // shape: a full H3 matrix rebuild per commit); the fast path
+    // clones the empty prototype, whose matrix is shared behind a
+    // refcount. Same config and seed, so the hashes -- and therefore
+    // every downstream estimate -- are identical.
+    if (bloom::activeSignatureImpl() == bloom::SigImpl::Scalar)
+        return std::make_unique<bloom::BloomSignature>(config_.bloom);
+    return protoSig_->clone();
 }
 
 BfgtsManager::DtxStats &
@@ -457,6 +469,42 @@ BfgtsManager::auditSignature(const TxInfo &tx,
                     "bloom.estimate",
                     "perfect signature misestimates its exact set "
                     "size",
+                    tick, tx.cpu, tx.thread, stx, dtx);
+    }
+
+    // Layout and membership of the Bloom encoding itself: every hash
+    // function must map every inserted line to a set bit (a Bloom
+    // filter never false-negatives on its own set), and under the
+    // partitioned layout (Sanchez et al.) hash function i may only
+    // index bank i's bit range.
+    if (const auto *sig =
+            dynamic_cast<const bloom::BloomSignature *>(&n_bloom)) {
+        const bloom::BloomFilter &filter = sig->filter();
+        const auto k = static_cast<std::uint64_t>(filter.numHashes());
+        const std::uint64_t bank_bits = filter.numBits() / k;
+        bool member = true;
+        bool in_bank = true;
+        for (const mem::Addr line : rw_lines) {
+            for (int fn = 0; fn < filter.numHashes(); ++fn) {
+                const std::uint64_t bit = filter.bitIndexFor(fn, line);
+                member = member
+                      && (filter.words()[bit >> 6]
+                          & (1ULL << (bit & 63)))
+                             != 0;
+                if (filter.config().partitioned) {
+                    in_bank = in_bank
+                           && bit / bank_bits
+                                  == static_cast<std::uint64_t>(fn);
+                }
+            }
+        }
+        audit.check(member, "bloom.partition",
+                    "signature misses a bit of its own inserted set "
+                    "(false negative)",
+                    tick, tx.cpu, tx.thread, stx, dtx);
+        audit.check(in_bank, "bloom.partition",
+                    "partitioned layout: a hash function indexed "
+                    "outside its bank",
                     tick, tx.cpu, tx.thread, stx, dtx);
     }
 

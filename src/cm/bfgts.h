@@ -324,6 +324,8 @@ class BfgtsManager : public ContentionManagerBase
 
     BfgtsConfig config_;
     const htm::TxIdSpace &ids_;
+    /** Prototype signature cloned per commit on the fast path. */
+    std::unique_ptr<bloom::Signature> protoSig_;
     /** Confidence table, numStaticTx^2, row-major, 0..255. */
     std::vector<double> conf_;
     std::vector<DtxStats> stats_;

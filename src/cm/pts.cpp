@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "bloom/signature_ops.h"
 #include "sim/logging.h"
 
 namespace cm {
@@ -12,34 +13,47 @@ PtsManager::PtsManager(int num_cpus, const htm::TxIdSpace &ids,
     : ContentionManagerBase(num_cpus, services), config_(config),
       ids_(ids)
 {
+    const auto n = static_cast<std::size_t>(ids.numDynamicTx());
+    graph_.assign(n * (n + 1) / 2, 0.0);
+    edgeTouched_.assign(n * (n + 1) / 2, 0);
+    stats_.resize(n);
+    protoSig_ = std::make_unique<bloom::BloomSignature>(config_.bloom);
 }
 
-std::uint64_t
-PtsManager::edgeKey(htm::DTxId a, htm::DTxId b)
+std::size_t
+PtsManager::edgeIndex(htm::DTxId a, htm::DTxId b) const
 {
-    const auto lo = static_cast<std::uint64_t>(std::min(a, b));
-    const auto hi = static_cast<std::uint64_t>(std::max(a, b));
-    return (hi << 32) | lo;
+    const auto ia = static_cast<std::size_t>(ids_.denseIndex(a));
+    const auto ib = static_cast<std::size_t>(ids_.denseIndex(b));
+    const std::size_t hi = std::max(ia, ib);
+    const std::size_t lo = std::min(ia, ib);
+    return hi * (hi + 1) / 2 + lo;
 }
 
 double
 PtsManager::confidence(htm::DTxId a, htm::DTxId b) const
 {
-    auto it = graph_.find(edgeKey(a, b));
-    return it == graph_.end() ? 0.0 : it->second;
+    return graph_[edgeIndex(a, b)];
 }
 
 void
 PtsManager::bumpConfidence(htm::DTxId a, htm::DTxId b, double delta)
 {
-    double &conf = graph_[edgeKey(a, b)];
+    const std::size_t index = edgeIndex(a, b);
+    // Count first-touch like the old hash map counted entries: an
+    // edge stays materialized even when later decayed back to zero.
+    if (!edgeTouched_[index]) {
+        edgeTouched_[index] = 1;
+        ++graphEdges_;
+    }
+    double &conf = graph_[index];
     conf = std::clamp(conf + delta, 0.0, 255.0);
 }
 
 PtsManager::DtxStats &
 PtsManager::statsFor(htm::DTxId dtx)
 {
-    return stats_[dtx];
+    return stats_[static_cast<std::size_t>(ids_.denseIndex(dtx))];
 }
 
 BeginDecision
@@ -117,8 +131,15 @@ PtsManager::onTxCommit(const TxInfo &tx,
     stats.avgSize = stats.avgSize == 0.0 ? size
                                          : 0.5 * (stats.avgSize + size);
 
-    // Encode this commit's read/write set.
-    auto sig = std::make_unique<bloom::BloomSignature>(config_.bloom);
+    // Encode this commit's read/write set. The scalar oracle builds a
+    // fresh signature each commit (the seed's cost shape: a full H3
+    // matrix rebuild); the fast path clones the empty prototype,
+    // which shares the matrix behind a refcount.
+    std::unique_ptr<bloom::Signature> sig;
+    if (bloom::activeSignatureImpl() == bloom::SigImpl::Scalar)
+        sig = std::make_unique<bloom::BloomSignature>(config_.bloom);
+    else
+        sig = protoSig_->clone();
     for (mem::Addr line : rw_lines)
         sig->insert(line);
     const sim::Cycles words = (config_.bloom.numBits + 63) / 64;

@@ -23,12 +23,12 @@
 #ifndef BFGTS_CM_PTS_H
 #define BFGTS_CM_PTS_H
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "bloom/signature.h"
 #include "cm/base.h"
-#include "sim/det_hash.h"
 
 namespace cm {
 
@@ -84,11 +84,14 @@ class PtsManager : public ContentionManagerBase
     double confidence(htm::DTxId a, htm::DTxId b) const;
 
     /** Number of edges materialized in the graph (size accounting). */
-    std::size_t graphEdges() const { return graph_.size(); }
+    std::size_t graphEdges() const { return graphEdges_; }
 
   private:
-    /** Symmetric edge key. */
-    static std::uint64_t edgeKey(htm::DTxId a, htm::DTxId b);
+    /**
+     * Flat index of the symmetric edge (a, b) in the dense
+     * lower-triangular confidence matrix over denseIndex space.
+     */
+    std::size_t edgeIndex(htm::DTxId a, htm::DTxId b) const;
 
     void bumpConfidence(htm::DTxId a, htm::DTxId b, double delta);
 
@@ -102,9 +105,23 @@ class PtsManager : public ContentionManagerBase
 
     PtsConfig config_;
     const htm::TxIdSpace &ids_;
-    /** Conflict graph: symmetric dTxID-pair -> confidence. */
-    sim::HashMap<std::uint64_t, double> graph_;
-    sim::HashMap<htm::DTxId, DtxStats> stats_;
+    /**
+     * Conflict graph: symmetric dTxID-pair -> confidence, stored as a
+     * flat lower-triangular matrix over dense dTx indices (the
+     * begin-time scan is a plain array read, no hashing). This models
+     * the structure the BFGTS paper criticizes as large: n(n+1)/2
+     * doubles for n = numDynamicTx(), which is fine at paper scale
+     * but will need a sparse/tiered replacement for the big-machine
+     * axis (ROADMAP item 2).
+     */
+    std::vector<double> graph_;
+    /** Which edges have ever been written (edge-count accounting). */
+    std::vector<std::uint8_t> edgeTouched_;
+    std::size_t graphEdges_ = 0;
+    /** Per-dTx stats, indexed by TxIdSpace::denseIndex(). */
+    std::vector<DtxStats> stats_;
+    /** Prototype signature cloned per commit on the fast path. */
+    std::unique_ptr<bloom::Signature> protoSig_;
 };
 
 } // namespace cm

@@ -11,14 +11,17 @@ namespace htm {
 ConflictDetector::TxSignatures &
 ConflictDetector::signaturesFor(TxState &tx)
 {
-    auto it = signatures_.find(&tx);
-    if (it == signatures_.end()) {
-        it = signatures_
-                 .emplace(&tx, std::make_unique<TxSignatures>(
-                                   policy_.signature))
-                 .first;
+    auto it = std::lower_bound(
+        signatures_.begin(), signatures_.end(), tx.dTxId,
+        [](const std::unique_ptr<TxSignatures> &entry, DTxId id) {
+            return entry->dTxId < id;
+        });
+    if (it == signatures_.end() || (*it)->dTxId != tx.dTxId) {
+        it = signatures_.insert(
+            it, std::make_unique<TxSignatures>(tx.dTxId, &tx,
+                                               sigProto_));
     }
-    return *it->second;
+    return **it;
 }
 
 std::vector<TxState *>
@@ -45,11 +48,12 @@ ConflictDetector::findConflicts(TxState &tx, mem::Addr line,
 
     // Signature mode: coherence requests test every active remote
     // transaction's Bloom signatures; hits beyond the exact holders
-    // are false conflicts (signature aliasing).
+    // are false conflicts (signature aliasing). signatures_ is kept
+    // sorted by dTxID, so this snoop sweep produces holders in
+    // deterministic order by construction.
     std::vector<TxState *> signature_conflicts;
-    // lint:allow(unordered-iteration): hits are collected and sorted
-    // by dTxID below before anyone sees them.
-    for (auto &[other, sigs] : signatures_) {
+    for (const auto &sigs : signatures_) {
+        TxState *other = sigs->owner;
         if (other == &tx || !other->active)
             continue;
         const bool hit =
@@ -64,12 +68,6 @@ ConflictDetector::findConflicts(TxState &tx, mem::Addr line,
         if (!real)
             falseConflicts_.inc();
     }
-    // The map iterates in pointer order, which varies across runs;
-    // sort by dTxID so simulations stay bit-reproducible.
-    std::sort(signature_conflicts.begin(), signature_conflicts.end(),
-              [](const TxState *a, const TxState *b) {
-                  return a->dTxId < b->dTxId;
-              });
     return signature_conflicts;
 }
 
@@ -137,7 +135,15 @@ ConflictDetector::access(TxState &tx, mem::Addr line, bool is_write,
 void
 ConflictDetector::removeTx(TxState &tx)
 {
-    signatures_.erase(&tx);
+    auto sig_it = std::lower_bound(
+        signatures_.begin(), signatures_.end(), tx.dTxId,
+        [](const std::unique_ptr<TxSignatures> &entry, DTxId id) {
+            return entry->dTxId < id;
+        });
+    if (sig_it != signatures_.end() && (*sig_it)->dTxId == tx.dTxId
+        && (*sig_it)->owner == &tx) {
+        signatures_.erase(sig_it);
+    }
     // lint:allow(unordered-iteration): per-line erasures commute; the
     // final registry state is independent of visit order.
     for (mem::Addr line : tx.readSet) {
@@ -275,9 +281,8 @@ ConflictDetector::auditCheck(sim::AuditEngine &audit,
     // Signatures exist only for active transactions (removeTx erases
     // them on commit/abort) and never report false negatives on the
     // owner's own exact sets.
-    // lint:allow(unordered-iteration): independent per-signature
-    // checks in an observational sweep.
-    for (const auto &[owner, sigs] : signatures_) {
+    for (const auto &sigs : signatures_) {
+        const TxState *owner = sigs->owner;
         const bool is_active =
             std::find(active.begin(), active.end(), owner)
             != active.end();

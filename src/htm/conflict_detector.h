@@ -106,7 +106,7 @@ class ConflictDetector
 {
   public:
     explicit ConflictDetector(const ConflictPolicy &policy = {})
-        : policy_(policy)
+        : policy_(policy), sigProto_(policy.signature)
     {
     }
 
@@ -195,12 +195,20 @@ class ConflictDetector
         std::vector<TxState *> readers;
     };
 
-    /** Per-transaction hardware signatures (Signature mode). */
+    /**
+     * Per-transaction hardware signatures (Signature mode). Built by
+     * copying the detector's empty prototype filter: the H3 matrix is
+     * shared behind a refcount, so per-transaction setup is two word
+     * vectors, not a matrix rebuild.
+     */
     struct TxSignatures {
+        htm::DTxId dTxId;
+        TxState *owner;
         bloom::BloomFilter readSig;
         bloom::BloomFilter writeSig;
-        explicit TxSignatures(const bloom::BloomConfig &config)
-            : readSig(config), writeSig(config)
+        TxSignatures(htm::DTxId id, TxState *tx,
+                     const bloom::BloomFilter &proto)
+            : dTxId(id), owner(tx), readSig(proto), writeSig(proto)
         {
         }
     };
@@ -212,9 +220,18 @@ class ConflictDetector
     TxSignatures &signaturesFor(TxState &tx);
 
     ConflictPolicy policy_;
+    /** Empty prototype filter cloned into each TxSignatures. */
+    bloom::BloomFilter sigProto_;
     sim::HashMap<mem::Addr, LineState> lines_;
-    sim::HashMap<TxState *, std::unique_ptr<TxSignatures>>
-        signatures_;
+    /**
+     * Active transactions' signatures, sorted by dTxID. A flat array
+     * ordered by construction: the snoop sweep in findConflicts()
+     * visits remote transactions in dTxID order directly -- no hash
+     * iteration, no post-hoc sort. The active population is small
+     * (one tx per hardware thread), so ordered insertion into a
+     * contiguous vector beats hashing.
+     */
+    std::vector<std::unique_ptr<TxSignatures>> signatures_;
     sim::Counter conflicts_;
     sim::Counter falseConflicts_;
     sim::Histogram nackRetryHist_ = sim::Histogram::makeLog2(12);

@@ -179,18 +179,33 @@ Simulation::charge(Worker &worker, sim::Cycles cycles, Bucket bucket)
 void
 Simulation::advance(Worker &worker, sim::Cycles cycles, Bucket bucket)
 {
-    advanceMulti(worker, {{cycles, bucket}});
+    const Charge single{cycles, bucket};
+    advanceSpan(worker, &single, 1);
+}
+
+void
+Simulation::advanceMulti(Worker &worker,
+                         std::initializer_list<Charge> charges)
+{
+    advanceSpan(worker, charges.begin(), charges.size());
 }
 
 void
 Simulation::advanceMulti(Worker &worker,
                          const std::vector<Charge> &charges)
 {
+    advanceSpan(worker, charges.data(), charges.size());
+}
+
+void
+Simulation::advanceSpan(Worker &worker, const Charge *charges,
+                        std::size_t count)
+{
     sim_assert(worker.pendingEvent == sim::kNoEvent);
     sim::Cycles total = 0;
-    for (const Charge &item : charges) {
-        charge(worker, item.cycles, item.bucket);
-        total += item.cycles;
+    for (std::size_t i = 0; i < count; ++i) {
+        charge(worker, charges[i].cycles, charges[i].bucket);
+        total += charges[i].cycles;
     }
     Worker *wp = &worker;
     worker.pendingEvent = events_.scheduleIn(total, [this, wp] {
@@ -320,7 +335,7 @@ Simulation::doTxBegin(Worker &worker)
                                     sim::Profiler::kCmDecide);
         decision = cm_->onTxBegin(info);
     }
-    const std::vector<Charge> cost_charges{
+    const Charge cost_charges[2] = {
         {decision.cost.sched, Bucket::Sched},
         {decision.cost.kernel, Bucket::Kernel}};
 
@@ -359,7 +374,7 @@ Simulation::doTxBegin(Worker &worker)
         worker.phase = Phase::TxAccess;
         if (decision.cost.sched + decision.cost.kernel == 0)
             return true;
-        advanceMulti(worker, cost_charges);
+        advanceSpan(worker, cost_charges, 2);
         return false;
       }
       case cm::BeginAction::StallOn: {
@@ -378,7 +393,7 @@ Simulation::doTxBegin(Worker &worker)
         worker.stallOn = decision.waitOn;
         worker.stallStart = events_.curTick();
         worker.phase = Phase::BeginStall;
-        advanceMulti(worker, cost_charges);
+        advanceSpan(worker, cost_charges, 2);
         return false;
       }
       case cm::BeginAction::YieldOn: {
@@ -397,7 +412,7 @@ Simulation::doTxBegin(Worker &worker)
         worker.phase = Phase::YieldNow;
         if (decision.cost.sched + decision.cost.kernel == 0)
             return true;
-        advanceMulti(worker, cost_charges);
+        advanceSpan(worker, cost_charges, 2);
         return false;
       }
       case cm::BeginAction::Block: {
@@ -405,7 +420,7 @@ Simulation::doTxBegin(Worker &worker)
         worker.phase = Phase::BlockNow;
         if (decision.cost.sched + decision.cost.kernel == 0)
             return true;
-        advanceMulti(worker, cost_charges);
+        advanceSpan(worker, cost_charges, 2);
         return false;
       }
     }
@@ -475,8 +490,10 @@ Simulation::doTxAccess(Worker &worker)
         worker.descriptorAborts);
 
     // Extra charges from CM conflict notification, folded into the
-    // next advance so bucket totals match consumed CPU time.
-    std::vector<Charge> notify_charges;
+    // next advance so bucket totals match consumed CPU time. Reuses
+    // the worker's scratch list so the access path never allocates.
+    std::vector<Charge> &notify_charges = worker.chargeScratch;
+    notify_charges.clear();
     if (result.resolution != htm::Resolution::Proceed) {
         // Conflict arbitration + notification is CM decide-path work.
         sim::ScopedPhase prof_phase(config_.profiler,
@@ -532,7 +549,7 @@ Simulation::doTxAccess(Worker &worker)
         // pair -- the granularity of the paper's txConflict() -- not
         // on every NACKed access or stall retry.
         for (const htm::TxState *holder : result.conflicts) {
-            if (!worker.reportedEnemies.insert(holder->dTxId).second)
+            if (!worker.reportedEnemies.insert(holder->dTxId))
                 continue;
             if (wantsTrace(sim::TraceCategory::Cm)) {
                 std::vector<std::pair<std::string, std::string>>
@@ -749,8 +766,11 @@ Simulation::doCommit(Worker &worker)
 bool
 Simulation::doCommitDone(Worker &worker)
 {
-    // Union of read and write sets, as line numbers.
-    std::vector<mem::Addr> rw_lines;
+    // Union of read and write sets, as line numbers. The worker's
+    // commit buffer is reused across commits (capacity sticks), so a
+    // steady-state commit performs no allocation here.
+    std::vector<mem::Addr> &rw_lines = worker.commitLines;
+    rw_lines.clear();
     rw_lines.reserve(worker.tx.readSet.size()
                      + worker.tx.writeSet.size());
     // lint:allow(unordered-iteration): collected into rw_lines and

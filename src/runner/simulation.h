@@ -25,6 +25,7 @@
 #ifndef BFGTS_RUNNER_SIMULATION_H
 #define BFGTS_RUNNER_SIMULATION_H
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <ostream>
@@ -100,6 +101,43 @@ class Simulation
 
     enum class Bucket { NonTx, Kernel, Sched, Abort, Attempt };
 
+    /** A (cycles, bucket) charge for multi-bucket advances. */
+    struct Charge {
+        sim::Cycles cycles;
+        Bucket bucket;
+    };
+
+    /**
+     * Small sorted set of dTxIDs in a flat vector. A worker sees a
+     * handful of enemies per attempt, so ordered insertion into a
+     * contiguous array beats a node-based std::set: no allocation in
+     * steady state (clear() keeps capacity) and iteration is ordered
+     * by construction, preserving determinism.
+     */
+    class DtxFlatSet
+    {
+      public:
+        /** @return true if @p value was newly inserted. */
+        bool
+        insert(htm::DTxId value)
+        {
+            auto it = std::lower_bound(items_.begin(), items_.end(),
+                                       value);
+            if (it != items_.end() && *it == value)
+                return false;
+            items_.insert(it, value);
+            return true;
+        }
+
+        void clear() { items_.clear(); }
+        bool empty() const { return items_.empty(); }
+        auto begin() const { return items_.begin(); }
+        auto end() const { return items_.end(); }
+
+      private:
+        std::vector<htm::DTxId> items_;
+    };
+
     struct Worker {
         sim::ThreadId tid = sim::kNoThread;
         sim::Rng rng{0};
@@ -136,17 +174,16 @@ class Simulation
         /** Enemies already reported to the CM in this attempt.
          *  Ordered by dTxID so any future iteration (e.g. picking a
          *  victim among enemies) is deterministic by construction. */
-        std::set<htm::DTxId> reportedEnemies;
+        DtxFlatSet reportedEnemies;
         /** Holders this worker currently NACK-waits on; maintained
          *  only in checked mode, feeds the wait-graph audit. */
-        std::set<htm::DTxId> waitHolders;
+        DtxFlatSet waitHolders;
+        /** Reusable commit-set buffer (doCommitDone); cleared per
+         *  commit, capacity kept so steady state never allocates. */
+        std::vector<mem::Addr> commitLines;
+        /** Reusable charge list for the access path, same idea. */
+        std::vector<Charge> chargeScratch;
         Breakdown buckets;
-    };
-
-    /** A (cycles, bucket) charge for multi-bucket advances. */
-    struct Charge {
-        sim::Cycles cycles;
-        Bucket bucket;
     };
 
     void step(Worker &worker);
@@ -162,8 +199,14 @@ class Simulation
 
     /** Charge cycles and schedule the next step after them. */
     void advance(Worker &worker, sim::Cycles cycles, Bucket bucket);
+    /** Literal charge lists: no heap allocation at the call site. */
+    void advanceMulti(Worker &worker,
+                      std::initializer_list<Charge> charges);
+    /** Dynamically built charge lists (worker.chargeScratch). */
     void advanceMulti(Worker &worker,
                       const std::vector<Charge> &charges);
+    void advanceSpan(Worker &worker, const Charge *charges,
+                     std::size_t count);
     void charge(Worker &worker, sim::Cycles cycles, Bucket bucket);
 
     /** Abort @p worker's transaction; @p enemy is the other party. */

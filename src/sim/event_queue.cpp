@@ -1,10 +1,93 @@
 #include "event_queue.h"
 
+#include <utility>
+
 #include "sim/audit.h"
 #include "sim/logging.h"
 #include "sim/profiler.h"
 
 namespace sim {
+
+void
+EventQueue::heapPush(const HeapNode &node)
+{
+    heap_.push_back(node);
+    std::size_t i = heap_.size() - 1;
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (!earlier(heap_[i], heap_[parent]))
+            break;
+        std::swap(heap_[i], heap_[parent]);
+        i = parent;
+    }
+}
+
+void
+EventQueue::heapPop()
+{
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    std::size_t i = 0;
+    while (true) {
+        const std::size_t left = 2 * i + 1;
+        const std::size_t right = left + 1;
+        std::size_t min = i;
+        if (left < n && earlier(heap_[left], heap_[min]))
+            min = left;
+        if (right < n && earlier(heap_[right], heap_[min]))
+            min = right;
+        if (min == i)
+            break;
+        std::swap(heap_[i], heap_[min]);
+        i = min;
+    }
+}
+
+std::uint32_t
+EventQueue::acquireSlot(EventFn &&fn)
+{
+    std::uint32_t slot;
+    if (!freeSlots_.empty()) {
+        slot = freeSlots_.back();
+        freeSlots_.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(slots_.size());
+        slots_.emplace_back();
+    }
+    Slot &s = slots_[slot];
+    s.fn = std::move(fn);
+    s.live = true;
+    return slot;
+}
+
+void
+EventQueue::releaseSlot(std::uint32_t slot)
+{
+    Slot &s = slots_[slot];
+    s.fn = nullptr;
+    s.live = false;
+    ++s.gen; // Invalidates every outstanding handle to this slot.
+    freeSlots_.push_back(slot);
+}
+
+bool
+EventQueue::liveId(EventId id) const
+{
+    const std::uint32_t slot = slotOf(id);
+    if (slot >= slots_.size())
+        return false;
+    const Slot &s = slots_[slot];
+    return s.live && s.gen == static_cast<std::uint32_t>(id >> 32);
+}
+
+std::size_t
+EventQueue::structBytes() const
+{
+    return heap_.size() * sizeof(HeapNode)
+         + slots_.capacity() * sizeof(Slot)
+         + freeSlots_.capacity() * sizeof(std::uint32_t);
+}
 
 EventId
 EventQueue::schedule(Tick when, EventFn fn)
@@ -20,14 +103,15 @@ EventQueue::schedule(Tick when, EventFn fn)
     } else {
         sim_assert(when >= curTick_);
     }
-    EventId id = nextId_++;
+    const std::uint32_t slot = acquireSlot(std::move(fn));
+    const EventId id = encodeId(slot, slots_[slot].gen);
     if (profiler_ != nullptr) {
         ScopedPhase phase(profiler_, Profiler::kEventQueue);
-        heap_.push(Entry{when, nextSeq_++, id, std::move(fn)});
+        heapPush(HeapNode{when, nextSeq_++, id});
         profiler_->recordBytes(Profiler::kStructEventQueue,
-                               heap_.size() * sizeof(Entry));
+                               structBytes());
     } else {
-        heap_.push(Entry{when, nextSeq_++, id, std::move(fn)});
+        heapPush(HeapNode{when, nextSeq_++, id});
     }
     ++live_;
     return id;
@@ -36,15 +120,14 @@ EventQueue::schedule(Tick when, EventFn fn)
 bool
 EventQueue::deschedule(EventId id)
 {
-    if (id == kNoEvent)
+    if (id == kNoEvent || !liveId(id))
         return false;
-    // Lazy deletion: the entry stays in the heap but is skipped when
-    // popped. Track it so size()/empty() stay accurate.
-    auto [it, inserted] = cancelled_.insert(id);
-    (void)it;
-    if (inserted && live_ > 0)
+    // O(1) lazy deletion: bump the slot generation so the heap node
+    // is recognized as stale and skipped when it surfaces.
+    releaseSlot(slotOf(id));
+    if (live_ > 0)
         --live_;
-    return inserted;
+    return true;
 }
 
 std::uint64_t
@@ -54,10 +137,10 @@ EventQueue::run(Tick max_tick, std::uint64_t max_events)
     while (!heap_.empty()) {
         if (profiler_ != nullptr)
             profiler_->enter(Profiler::kEventQueue);
-        const Entry &top = heap_.top();
-        if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
-            cancelled_.erase(it);
-            heap_.pop();
+        const HeapNode top = heap_.front();
+        if (!liveId(top.id)) {
+            // Cancelled: the slot generation moved past this node.
+            heapPop();
             if (profiler_ != nullptr)
                 profiler_->exit();
             continue;
@@ -67,30 +150,32 @@ EventQueue::run(Tick max_tick, std::uint64_t max_events)
                 profiler_->exit();
             break;
         }
-        // Move the callback out before popping so the entry can be
-        // safely destroyed even if the callback schedules new events.
-        Entry entry = std::move(const_cast<Entry &>(top));
-        heap_.pop();
-        --live_;
         if (audit_ != nullptr && audit_->shouldCheck()) {
             // Deterministic order: executed events must be strictly
             // increasing in (tick, insertion seq); equal-tick events
             // fire in the order they were scheduled.
             const bool ordered =
-                !anyExecuted_ || entry.when > lastExecWhen_
-                || (entry.when == lastExecWhen_
-                    && entry.seq > lastExecSeq_);
+                !anyExecuted_ || top.when > lastExecWhen_
+                || (top.when == lastExecWhen_
+                    && top.seq > lastExecSeq_);
             audit_->check(ordered, "event.tiebreak",
                           "event executed out of (tick, seq) order",
-                          entry.when);
-            lastExecWhen_ = entry.when;
-            lastExecSeq_ = entry.seq;
+                          top.when);
+            lastExecWhen_ = top.when;
+            lastExecSeq_ = top.seq;
             anyExecuted_ = true;
         }
-        curTick_ = entry.when;
+        // Move the callback out and recycle the slot before invoking:
+        // the callback may schedule new events (possibly reusing this
+        // very slot under a fresh generation).
+        EventFn fn = std::move(slots_[slotOf(top.id)].fn);
+        releaseSlot(slotOf(top.id));
+        heapPop();
+        --live_;
+        curTick_ = top.when;
         if (profiler_ != nullptr)
             profiler_->exit();
-        entry.fn();
+        fn();
         if (profiler_ != nullptr)
             profiler_->onEventExecuted(curTick_);
         if (++executed > max_events) {

@@ -6,6 +6,15 @@
  * scheduled for the same tick fire in the order they were scheduled.
  * This makes the whole simulation reproducible regardless of heap
  * internals or container iteration order.
+ *
+ * Layout: the heap itself holds only 24-byte POD nodes (tick, seq,
+ * handle), so sift operations move three words and stay in cache; the
+ * std::function callbacks live in a slot slab addressed by the handle.
+ * Handles encode (generation << 32 | slot + 1), so cancellation is an
+ * O(1) generation bump -- a stale heap node is recognized and skipped
+ * when it surfaces -- and kNoEvent (0) can never collide with a live
+ * handle. Slots are recycled through a free list, so a steady-state
+ * simulation allocates no memory per event.
  */
 
 #ifndef BFGTS_SIM_EVENT_QUEUE_H
@@ -13,10 +22,8 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
-#include "sim/det_hash.h"
 #include "sim/types.h"
 
 namespace sim {
@@ -27,7 +34,7 @@ class Profiler;
 /** Callback type for scheduled events. */
 using EventFn = std::function<void()>;
 
-/** Handle used to cancel a scheduled event. */
+/** Handle used to cancel a scheduled event (generation | slot + 1). */
 using EventId = std::uint64_t;
 
 /** Sentinel EventId meaning "no event". */
@@ -104,9 +111,10 @@ class EventQueue
     /**
      * Attach the host-performance profiler (borrowed, may be null).
      * When set, schedule() and run() charge heap work to the
-     * event-queue wall-time phase, track the heap's byte high-water,
-     * and report each executed event for Perfetto counter sampling.
-     * Purely observational: simulated behavior is unchanged.
+     * event-queue wall-time phase, track the byte high-water of the
+     * heap plus the callback slab, and report each executed event for
+     * Perfetto counter sampling. Purely observational: simulated
+     * behavior is unchanged.
      */
     void setProfiler(Profiler *profiler) { profiler_ = profiler; }
 
@@ -119,26 +127,58 @@ class EventQueue
     void testSetNextSeq(std::uint64_t seq) { nextSeq_ = seq; }
 
   private:
-    struct Entry {
+    /** Heap node: plain data only, three words per sift move. */
+    struct HeapNode {
         Tick when;
         std::uint64_t seq;
         EventId id;
-        EventFn fn;
     };
 
-    struct Later {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
+    /** Slab slot owning a callback; gen invalidates stale handles. */
+    struct Slot {
+        EventFn fn;
+        std::uint32_t gen = 0;
+        bool live = false;
     };
+
+    static bool
+    earlier(const HeapNode &a, const HeapNode &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
+
+    void heapPush(const HeapNode &node);
+    void heapPop();
+
+    /** Take a free (or new) slot and move @p fn into it. */
+    std::uint32_t acquireSlot(EventFn &&fn);
+    /** Invalidate a slot's handle and recycle it. */
+    void releaseSlot(std::uint32_t slot);
+
+    static EventId
+    encodeId(std::uint32_t slot, std::uint32_t gen)
+    {
+        return (static_cast<EventId>(gen) << 32)
+             | (static_cast<EventId>(slot) + 1);
+    }
+
+    /** Slot index of @p id, or a value >= slots_.size() if invalid. */
+    std::uint32_t
+    slotOf(EventId id) const
+    {
+        return static_cast<std::uint32_t>(id & 0xffffffffULL) - 1;
+    }
+
+    /** True if @p id names the live scheduled event in its slot. */
+    bool liveId(EventId id) const;
+
+    /** Bytes held by the heap and the slab, for the profiler gauge. */
+    std::size_t structBytes() const;
 
     Tick curTick_ = 0;
     std::uint64_t nextSeq_ = 0;
-    EventId nextId_ = 1;
     std::size_t live_ = 0;
     AuditEngine *audit_ = nullptr;
     Profiler *profiler_ = nullptr;
@@ -146,8 +186,12 @@ class EventQueue
     Tick lastExecWhen_ = 0;
     std::uint64_t lastExecSeq_ = 0;
     bool anyExecuted_ = false;
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-    sim::HashSet<EventId> cancelled_;
+    /** Binary min-heap over (when, seq). */
+    std::vector<HeapNode> heap_;
+    /** Callback slab; HeapNode.id points into it. */
+    std::vector<Slot> slots_;
+    /** Recycled slot indices. */
+    std::vector<std::uint32_t> freeSlots_;
 };
 
 } // namespace sim

@@ -514,6 +514,63 @@ TEST(AuditBfgts, HonestSignaturePassesTheEstimateAudit)
     EXPECT_EQ(engine.violationCount(), 0u);
 }
 
+TEST(AuditBfgts, PartitionFiresOnClearedSignatureBit)
+{
+    sim::AuditEngine engine = collectEngine();
+    htm::TxIdSpace ids(4, 4);
+    cm::Services services;
+    services.audit = &engine;
+    cm::BfgtsConfig config;
+    config.variant = cm::BfgtsVariant::Sw;
+    config.bloom.partitioned = true;
+    cm::BfgtsManager manager(4, ids, services, config);
+
+    cm::TxInfo tx;
+    tx.thread = 0;
+    tx.cpu = 0;
+    tx.sTx = 0;
+    tx.dTx = ids.make(0, 0);
+
+    const std::vector<mem::Addr> rw_lines = {11, 22, 33};
+    bloom::BloomSignature sig(config.bloom);
+    for (const mem::Addr line : rw_lines)
+        sig.insert(line);
+
+    // Clear one bit an inserted line hashes to: the no-false-negative
+    // membership property of the partitioned layout is now broken and
+    // the commit-time audit must say so.
+    sig.testFilter().testClearBit(sig.filter().bitIndexFor(1, 22));
+    manager.testAuditSignature(tx, sig, rw_lines);
+    EXPECT_TRUE(engine.fired("bloom.partition"));
+}
+
+TEST(AuditBfgts, PartitionedHonestSignaturePasses)
+{
+    sim::AuditEngine engine = collectEngine();
+    htm::TxIdSpace ids(4, 4);
+    cm::Services services;
+    services.audit = &engine;
+    cm::BfgtsConfig config;
+    config.variant = cm::BfgtsVariant::Sw;
+    config.bloom.partitioned = true;
+    cm::BfgtsManager manager(4, ids, services, config);
+
+    cm::TxInfo tx;
+    tx.thread = 0;
+    tx.cpu = 0;
+    tx.sTx = 0;
+    tx.dTx = ids.make(0, 0);
+
+    const std::vector<mem::Addr> rw_lines = {11, 22, 33};
+    bloom::BloomSignature sig(config.bloom);
+    for (const mem::Addr line : rw_lines)
+        sig.insert(line);
+    manager.testAuditSignature(tx, sig, rw_lines);
+    EXPECT_GT(engine.checksRun(), 0u);
+    EXPECT_EQ(engine.violationCount(), 0u);
+    EXPECT_FALSE(engine.fired("bloom.partition"));
+}
+
 // ---- hardware predictor ---------------------------------------------
 
 TEST(AuditPredictor, CpuTableFiresOnIncoherentUnit)
